@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment emits its regenerated artifact (table or figure panels)
+through :func:`emit`, which both prints it (visible with ``pytest -s``)
+and persists it under ``benchmarks/out/`` so the reproduction record
+survives output capture.  EXPERIMENTS.md is assembled from these files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it to ``benchmarks/out/<name>.txt``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {name} ===\n"
+    print(banner + text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def grid(values, width: int = 8) -> str:
+    """Render a flat sequence as rows of ``width`` right-aligned cells."""
+    vals = [str(v) for v in values]
+    cell = max(len(v) for v in vals)
+    lines = []
+    for lo in range(0, len(vals), width):
+        lines.append(" ".join(v.rjust(cell) for v in vals[lo : lo + width]))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""E11 — future-work "simulations": random traffic D_n vs hypercube.
+
+Routes uniform random pairs through D_n (shortest-path routing with at
+most two cross-edge hops) and through Q_{2n-1} (dimension-order), and
+compares the architecture-level quantities the paper's motivation talks
+about.
+
+Expected shape: the hypercube's average hop count is lower (it has the
+extra links) but only by the +2-for-cluster-crossings margin — the
+"almost as efficient" claim; the dual-cube achieves this with half the
+links per node, so its per-link utilization is higher but its maximum
+link load stays within a small factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.routing import route
+from repro.simulator.traffic import (
+    hypercube_dimension_order_path,
+    random_pairs,
+    run_traffic,
+)
+from repro.topology import DualCube, Hypercube
+from repro.topology.metrics import average_distance
+
+from benchmarks._util import emit
+
+HEADERS = ["network", "pairs", "avg hops", "max link load", "imbalance", "loaded links", "links"]
+
+
+def traffic_rows(n: int, num_pairs: int, seed: int = 0):
+    dc = DualCube(n)
+    cube = Hypercube(2 * n - 1)
+    rng = np.random.default_rng(seed)
+    pairs = random_pairs(dc.num_nodes, num_pairs, rng)
+    return [
+        run_traffic(dc, lambda u, v: route(dc, u, v), pairs).row(),
+        run_traffic(cube, hypercube_dimension_order_path, pairs).row(),
+    ]
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_random_traffic_comparison(benchmark, n):
+    rows = benchmark.pedantic(
+        traffic_rows, args=(n, 2000), rounds=1, iterations=1
+    )
+    emit(
+        f"E11_random_traffic_n{n}",
+        format_table(HEADERS, rows, title=f"Random traffic, 2000 pairs, |V| = {2 ** (2 * n - 1)}"),
+    )
+    d_row, q_row = rows
+    # Hypercube wins average hops, but within the +2 crossing margin.
+    assert q_row[2] <= d_row[2] <= q_row[2] + 2.0
+    # The dual-cube achieves it with n/(2n-1) of the links; its peak link
+    # load stays within 3x the hypercube's on identical traffic.
+    assert d_row[6] < q_row[6]
+    assert d_row[3] <= 3 * q_row[3]
+
+
+def test_average_hops_converges_to_average_distance(benchmark):
+    """Sanity of the traffic model: uniform traffic -> mean distance."""
+    dc = DualCube(3)
+
+    def run():
+        rng = np.random.default_rng(1)
+        pairs = random_pairs(32, 4000, rng)
+        return run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.avg_hops == pytest.approx(average_distance(dc), rel=0.05)
+
+
+def test_cross_edge_hotspot_analysis(benchmark):
+    """Cross-edges are the scarce resource: measure their share of load."""
+    dc = DualCube(3)
+
+    def run():
+        from collections import Counter
+
+        rng = np.random.default_rng(2)
+        pairs = random_pairs(32, 3000, rng)
+        load = Counter()
+        for u, v in pairs:
+            p = route(dc, u, v)
+            for a, b in zip(p, p[1:]):
+                kind = "cross" if dc.class_of(a) != dc.class_of(b) else "intra"
+                load[kind] += 1
+        return load
+
+    load = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = load["cross"] + load["intra"]
+    share = load["cross"] / total
+    num_cross = dc.num_nodes // 2
+    num_intra = dc.edge_count() - num_cross
+    emit(
+        "E11_cross_edge_share",
+        f"cross-edge load share: {share:.3f} of {total} hops "
+        f"({num_cross} cross links vs {num_intra} intra links; "
+        f"uniform links would carry {num_cross / dc.edge_count():.3f})",
+    )
+    # Cross-edges carry more than their per-link uniform share (they are
+    # the only class bridges), but routing keeps the excess bounded.
+    assert share > num_cross / dc.edge_count()
+    assert share < 0.6

@@ -1,0 +1,78 @@
+"""E13 — hypercube-like properties: Hamiltonicity and ring embedding.
+
+The paper's Section 1 positions the dual-cube as keeping "most of the
+interesting properties of the hypercube architecture"; Hamiltonicity is
+the canonical such property (rings embed with dilation 1, enabling every
+ring algorithm unchanged).  The constructive induction over the recursive
+presentation builds the cycle in O(V).
+
+Expected shape: dilation 1 at every n; naive (address-order) ring mapping
+pays the diameter-scale dilation; construction time linear in V.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.topology import (
+    RecursiveDualCube,
+    hamiltonian_cycle,
+    ring_embedding_dilation,
+)
+
+from benchmarks._util import emit
+
+
+def embedding_rows():
+    rows = []
+    for n in range(2, 8):
+        rdc = RecursiveDualCube(n)
+        cyc = hamiltonian_cycle(n)
+        naive = ring_embedding_dilation(rdc, list(rdc.nodes()))
+        ham = ring_embedding_dilation(rdc, cyc)
+        rows.append((n, rdc.num_nodes, ham, naive, rdc.diameter()))
+    return rows
+
+
+def test_ring_embedding_table(benchmark):
+    rows = benchmark.pedantic(embedding_rows, rounds=1, iterations=1)
+    emit(
+        "E13_ring_embedding",
+        format_table(
+            ["n", "nodes", "Hamiltonian dilation", "address-order dilation", "diameter"],
+            rows,
+            title="Ring embedding in D_n: the Hamiltonian mapping achieves dilation 1",
+        ),
+    )
+    for n, _, ham, naive, diam in rows:
+        assert ham == 1
+        assert naive > 1
+        assert naive <= diam
+
+
+@pytest.mark.parametrize("n", [4, 6, 7])
+def test_construction_wallclock(benchmark, n):
+    benchmark.group = "E13 Hamiltonian construction"
+    cyc = benchmark(lambda: hamiltonian_cycle(n))
+    assert len(cyc) == 2 ** (2 * n - 1)
+
+
+def test_ring_pipeline_demo(benchmark):
+    """A ring algorithm running on the embedding: token circulation
+    accumulating a sum around all 2^(2n-1) nodes in V unit-dilation hops."""
+    rdc = RecursiveDualCube(3)
+    cyc = hamiltonian_cycle(3)
+    values = np.random.default_rng(0).integers(0, 100, 32)
+
+    def run():
+        total = 0
+        hops = 0
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert rdc.has_edge(a, b)
+            total += values[a]
+            hops += 1
+        return total, hops
+
+    total, hops = benchmark(run)
+    assert total == values.sum()
+    assert hops == 32

@@ -1,0 +1,92 @@
+"""E14 — latency vs bandwidth: tree allreduce vs Hamiltonian-ring allreduce.
+
+Two allreduce algorithms on the same dual-cube, both cycle-accurate:
+
+* the cluster-technique **tree** allreduce: 2n steps, full-vector
+  messages (latency-optimal — 2n = diameter);
+* the **ring** allreduce over the dilation-1 Hamiltonian embedding:
+  2(V-1) steps, single-chunk messages (bandwidth-optimal — each node
+  moves 2(V-1) chunks instead of 2nV).
+
+Expected shape: the tree wins steps at every size by an exponentially
+growing factor, the ring wins per-node traffic by a factor approaching
+nV/(V-1) ~ n — the classic collective-communication tradeoff, here
+enabled on a degree-n network by the Hamiltonicity of D_n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.ops import ADD
+from repro.routing.ring_allreduce import ring_allreduce_engine, ring_allreduce_steps
+from repro.topology import RecursiveDualCube
+
+from benchmarks._util import emit
+
+
+def tradeoff_rows():
+    rows = []
+    for n in (2, 3):
+        rdc = RecursiveDualCube(n)
+        v = rdc.num_nodes
+        rng = np.random.default_rng(n)
+        vecs = rng.integers(0, 100, (v, v))
+        results, res = ring_allreduce_engine(rdc, vecs.tolist(), ADD)
+        assert results[0] == list(vecs.sum(axis=0))
+        ring_payload_per_node = res.counters.payload_items / v
+        tree_steps = 2 * n
+        tree_payload_per_node = 2 * n * v  # full V-chunk vector per round
+        rows.append(
+            (
+                n,
+                v,
+                tree_steps,
+                res.comm_steps,
+                tree_payload_per_node,
+                int(ring_payload_per_node),
+                round(tree_payload_per_node / ring_payload_per_node, 3),
+            )
+        )
+    return rows
+
+
+def test_tradeoff_table(benchmark):
+    rows = benchmark.pedantic(tradeoff_rows, rounds=1, iterations=1)
+    emit(
+        "E14_allreduce_tradeoff",
+        format_table(
+            [
+                "n",
+                "nodes",
+                "tree steps",
+                "ring steps",
+                "tree chunks/node",
+                "ring chunks/node",
+                "bandwidth gain",
+            ],
+            rows,
+            title="E14: allreduce of a V-chunk vector — latency-optimal tree "
+            "vs bandwidth-optimal Hamiltonian ring",
+        ),
+    )
+    for n, v, tree_steps, ring_steps, tree_pay, ring_pay, gain in rows:
+        assert tree_steps < ring_steps  # tree wins latency
+        assert ring_pay < tree_pay  # ring wins bandwidth
+        assert ring_steps == ring_allreduce_steps(v)
+        assert ring_pay == 2 * (v - 1)
+        assert gain > 1.0
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_ring_allreduce_wallclock(benchmark, n):
+    benchmark.group = "E14 ring allreduce"
+    rdc = RecursiveDualCube(n)
+    v = rdc.num_nodes
+    vecs = np.random.default_rng(0).integers(0, 50, (v, v)).tolist()
+
+    def run():
+        return ring_allreduce_engine(rdc, vecs, ADD)
+
+    results, res = benchmark(run)
+    assert res.comm_steps == 2 * (v - 1)

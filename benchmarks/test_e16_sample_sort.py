@@ -1,0 +1,106 @@
+"""E16 — data-dependent vs oblivious sorting: key traffic and balance.
+
+Sample sort routes each key once along a shortest path; the blocked
+bitonic `large_sort` moves keys through the full oblivious schedule.
+Comparing total key-link traversals shows *why* data-dependent sorting
+wins bandwidth at scale — and the bucket-imbalance column shows what it
+gives up (oblivious schedules never skew, adversarial inputs can blow a
+sample-sort bucket up to N keys).
+
+Expected shape: bitonic traversals per key ~ the schedule's payload cost
+(grows with n²); sample-sort traversals per key ~ the network's mean
+distance (grows linearly in n); imbalance ~ 1 on uniform data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.apps.sample_sort import sample_sort
+from repro.core.large_inputs import large_sort
+from repro.simulator import CostCounters
+from repro.topology import DualCube, RecursiveDualCube
+
+from benchmarks._util import emit
+
+
+def comparison_rows(b: int = 16):
+    rows = []
+    for n in (2, 3, 4):
+        dc = DualCube(n)
+        rdc = RecursiveDualCube(n)
+        v = dc.num_nodes
+        rng = np.random.default_rng(n)
+        keys = rng.permutation(b * v)
+
+        out_s, stats = sample_sort(dc, keys, oversample=8)
+        assert list(out_s) == list(range(b * v))
+
+        c = CostCounters(v)
+        out_b = large_sort(rdc, keys, counters=c)
+        assert list(out_b) == list(range(b * v))
+
+        rows.append(
+            (
+                n,
+                b * v,
+                round(stats.key_link_traversals / (b * v), 3),
+                round(c.payload_items / (b * v), 3),
+                round(stats.imbalance, 3),
+                round(stats.avg_key_distance, 3),
+            )
+        )
+    return rows
+
+
+def test_sample_vs_bitonic_traffic(benchmark):
+    rows = benchmark.pedantic(comparison_rows, rounds=1, iterations=1)
+    emit(
+        "E16_sample_sort",
+        format_table(
+            [
+                "n",
+                "keys",
+                "sample-sort traversals/key",
+                "bitonic traversals/key",
+                "bucket imbalance",
+                "avg key distance",
+            ],
+            rows,
+            title="E16: data-dependent sample sort vs oblivious blocked bitonic",
+        ),
+    )
+    prev_gap = 0.0
+    for n, _, sample_t, bitonic_t, imb, avg_d in rows:
+        assert sample_t < bitonic_t  # one routed trip beats the schedule
+        assert imb < 2.0  # uniform data balances
+        gap = bitonic_t / max(sample_t, 1e-9)
+        assert gap > prev_gap  # the advantage grows with n
+        prev_gap = gap
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_sample_sort_wallclock(benchmark, n):
+    benchmark.group = "E16 sample sort"
+    dc = DualCube(n)
+    keys = np.random.default_rng(0).permutation(32 * dc.num_nodes)
+    out, _ = benchmark(lambda: sample_sort(dc, keys))
+    assert out[0] == 0 and out[-1] == len(keys) - 1
+
+
+def test_adversarial_skew(benchmark):
+    """The oblivious algorithm's selling point: no input can skew it."""
+    dc = DualCube(3)
+
+    def run():
+        keys = np.full(16 * 32, 42)
+        return sample_sort(dc, keys)
+
+    _, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "E16_adversarial_skew",
+        f"all-equal input: sample-sort bucket imbalance {stats.imbalance:.1f} "
+        f"(one bucket got all {stats.num_keys} keys); the oblivious bitonic "
+        f"schedule is input-independent by construction",
+    )
+    assert stats.imbalance == float(stats.num_buckets)

@@ -1,0 +1,93 @@
+"""E1 — Figures 1-2: the D_2 and D_3 networks.
+
+Regenerates the structures the paper draws: per-class cluster membership,
+adjacency lists with the three-field address rendering (class / middle /
+low), and the aggregate counts.  The benchmark times full construction +
+structural validation of D_3.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.topology import DualCube
+
+from benchmarks._util import emit
+
+
+def render_network(n: int) -> str:
+    dc = DualCube(n)
+    m = dc.cluster_dim
+    lines = [
+        f"{dc.name}: {dc.num_nodes} nodes, {dc.edge_count()} edges, "
+        f"degree {dc.n}, diameter {dc.diameter()}",
+        f"classes: 2 x {dc.clusters_per_class} clusters x "
+        f"{dc.nodes_per_cluster} nodes ({m}-cube clusters)",
+        "",
+    ]
+    for cls in (0, 1):
+        lines.append(f"class {cls}:")
+        for k in range(dc.clusters_per_class):
+            members = dc.cluster_members(cls, k)
+            rendered = []
+            for u in members:
+                b = format(u, f"0{2 * n - 1}b")
+                rendered.append(f"{b[0]}|{b[1 : 1 + max(m, 0)]}|{b[1 + m :]}")
+            lines.append(f"  cluster {k}: " + "  ".join(rendered))
+    lines.append("")
+    lines.append("cross-edges (u <-> u with class bit flipped):")
+    crosses = [
+        f"{u}<->{dc.cross_partner(u)}"
+        for u in dc.nodes()
+        if dc.class_of(u) == 0
+    ]
+    lines.append("  " + "  ".join(crosses))
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_figure_structure(benchmark, n):
+    dc = benchmark(lambda: DualCube(n))
+    art = render_network(n)
+    emit(f"E1_fig{n - 1}_D{n}", art)
+    # Paper facts: Fig.1's D_2 has 8 nodes; Fig.2's D_3 has 32 nodes with
+    # 4 clusters of 4 nodes per class.
+    assert dc.num_nodes == 2 ** (2 * n - 1)
+    assert dc.edge_count() == n * 2 ** (2 * n - 2)
+    assert all(dc.degree(u) == n for u in dc.nodes())
+
+
+def test_construction_and_validation_benchmark(benchmark):
+    def build():
+        dc = DualCube(3)
+        dc.validate()
+        return dc
+
+    dc = benchmark(build)
+    assert dc.num_nodes == 32
+
+
+def test_summary_table(benchmark):
+    rows = []
+    benchmark(lambda: [DualCube(n).edge_count() for n in range(1, 9)])
+    for n in range(1, 9):
+        dc = DualCube(n)
+        rows.append(
+            (
+                dc.name,
+                dc.num_nodes,
+                dc.edge_count(),
+                dc.n,
+                dc.diameter(),
+                dc.clusters_per_class,
+            )
+        )
+    emit(
+        "E1_family_table",
+        format_table(
+            ["network", "nodes", "edges", "degree", "diameter", "clusters/class"],
+            rows,
+            title="Dual-cube family D_1..D_8 (D_8 = the paper's 'tens of "
+            "thousands of processors with up to eight connections')",
+        ),
+    )
+    assert DualCube(8).num_nodes == 32768

@@ -1,0 +1,122 @@
+"""E2 — the introduction's comparative claims as an exact measurement table.
+
+Regenerates the positioning argument of Sections 1-2: the dual-cube keeps
+hypercube-like distances with roughly half the links of the same-size
+hypercube, against the bounded-degree rivals (CCC, wrapped butterfly,
+de Bruijn, shuffle-exchange).  All numbers are exact (full BFS sweeps).
+
+Expected shape: for every n, D_n matches Q_{2n-1} in node count with
+degree n vs 2n-1 and diameter exactly one larger; its degree x diameter
+cost beats CCC at comparable sizes.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.topology import (
+    CubeConnectedCycles,
+    DeBruijn,
+    DualCube,
+    Hypercube,
+    ShuffleExchange,
+    WrappedButterfly,
+    measure,
+)
+
+from benchmarks._util import emit
+
+HEADERS = ["network", "nodes", "edges", "degree", "diameter", "avg dist", "deg*diam"]
+
+
+def comparison_rows(n: int):
+    """Networks sized as closely as possible to D_n's 2^(2n-1) nodes."""
+    q = 2 * n - 1
+    topos = [DualCube(n), Hypercube(q)]
+    # q * 2^q-node families: pick q' with q' * 2^q' closest to 2^(2n-1).
+    best_ccc = min(range(3, 12), key=lambda k: abs(k * 2**k - 2**q))
+    topos.append(CubeConnectedCycles(best_ccc))
+    topos.append(WrappedButterfly(best_ccc))
+    topos.append(DeBruijn(q))
+    topos.append(ShuffleExchange(q))
+    return [measure(t).row() for t in topos]
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_comparison_table(benchmark, n):
+    rows = benchmark.pedantic(comparison_rows, args=(n,), rounds=1, iterations=1)
+    emit(
+        f"E2_comparison_n{n}",
+        format_table(HEADERS, rows, title=f"Topology comparison around |V| = {2 ** (2 * n - 1)}"),
+    )
+    by_name = {r[0]: r for r in rows}
+    d = by_name[f"D_{n}"]
+    q = by_name[f"Q_{2 * n - 1}"]
+    # Claim: same size, ~half the degree, diameter exactly +1.
+    assert d[1] == q[1]
+    assert d[3] == n and q[3] == 2 * n - 1
+    assert d[4] == q[4] + 1
+    # Claim: communication "almost as efficient as in hypercube" — the
+    # average distance stays within ~35% of the hypercube's (Hamming plus
+    # at most 2 extra hops for same-class cluster pairs).
+    assert d[5] <= q[5] * 1.35
+
+
+def test_metacube_family_extension(benchmark):
+    """The dual-cube inside the authors' metacube family MC(k, m):
+    MC(1, m) = D_{m+1}, and k = 2 pushes size further per unit degree."""
+    from repro.topology import Metacube
+
+    def rows():
+        out = []
+        for k, m in [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)]:
+            mc = Metacube(k, m)
+            out.append(
+                (
+                    mc.name,
+                    mc.num_nodes,
+                    mc.degree_formula,
+                    f"= D_{m + 1}" if k == 1 else "",
+                )
+            )
+        return out
+
+    table = benchmark(rows)
+    emit(
+        "E2_metacube_family",
+        format_table(
+            ["network", "nodes", "degree", "note"],
+            table,
+            title="Metacube family: nodes per unit degree (MC(1, m) is the dual-cube)",
+        ),
+    )
+    by_name = {r[0]: r for r in table}
+    assert by_name["MC(2,3)"][1] == 16384 and by_name["MC(2,3)"][2] == 5
+    # At equal degree 4: MC(2,2) has 8x the nodes of MC(1,3) = D_4.
+    assert by_name["MC(2,2)"][1] == 8 * by_name["MC(1,3)"][1]
+
+
+def test_degree_halving_across_family(benchmark):
+    rows = benchmark(
+        lambda: [
+            (
+                n,
+                DualCube(n).n,
+                2 * n - 1,
+                DualCube(n).edge_count(),
+                (2 * n - 1) * 2 ** (2 * n - 2),
+            )
+            for n in range(2, 9)
+        ]
+    )
+    emit(
+        "E2_degree_halving",
+        format_table(
+            ["n", "D_n degree", "Q_(2n-1) degree", "D_n edges", "Q_(2n-1) edges"],
+            rows,
+            title="Edges per node: dual-cube uses about half the hypercube's links",
+        ),
+    )
+    for n, dn, qn, de, qe in rows:
+        assert dn == (qn + 1) / 2  # degree n vs 2n-1: "about half"
+        assert de * (2 * n - 1) == qe * n  # exact edge ratio n/(2n-1)
+        assert de / qe <= 2 / 3  # at most two-thirds, shrinking to 1/2

@@ -1,0 +1,91 @@
+"""E5 — Figure 4: constructing D_n from four D_{n-1}.
+
+Regenerates the recursive construction: the four contiguous copies, the
+joining links the step adds (Fig. 4's bold lines), and the isomorphism
+between the recursive and standard presentations.
+
+Expected shape: |E(D_n)| = 4|E(D_{n-1})| + 2^(2n-2); joining links use
+only the two new dimensions; the base case is K_2.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.topology import (
+    DualCube,
+    RecursiveDualCube,
+    recursive_to_standard,
+    standard_to_recursive,
+)
+
+from benchmarks._util import emit
+
+
+def construction_rows(max_n: int):
+    rows = []
+    for n in range(2, max_n + 1):
+        r = RecursiveDualCube(n)
+        sub_edges = len(list(RecursiveDualCube(n - 1).edges()))
+        joining = len(r.joining_edges())
+        rows.append(
+            (
+                f"D_{n}",
+                f"4 x D_{n - 1}",
+                4 * sub_edges,
+                joining,
+                4 * sub_edges + joining,
+                len(list(r.edges())),
+            )
+        )
+    return rows
+
+
+def test_construction_table(benchmark):
+    rows = benchmark.pedantic(construction_rows, args=(6,), rounds=1, iterations=1)
+    emit(
+        "E5_fig4_recursive_construction",
+        format_table(
+            ["network", "built from", "copied edges", "joining edges", "sum", "actual |E|"],
+            rows,
+            title="Figure 4: recursive construction D_n = 4 x D_(n-1) + joining links",
+        ),
+    )
+    for _, _, copied, joining, total, actual in rows:
+        assert total == actual
+    # Joining links count: the two new dimensions connect half the nodes each.
+    for n, (_, _, _, joining, _, _) in zip(range(2, 7), rows):
+        assert joining == 2 ** (2 * n - 2)
+
+
+def test_fig4_small_instances(benchmark):
+    def build():
+        return RecursiveDualCube(2), RecursiveDualCube(3)
+
+    r2, r3 = benchmark(build)
+    art = ["Figure 4(a,b): D_2 from four D_1 (K_2)"]
+    art.append(f"  copies: {[list(r2.subcube_members(i)) for i in range(4)]}")
+    art.append(f"  joining edges: {r2.joining_edges()}")
+    art.append("")
+    art.append("Figure 4(c,d): D_3 from four D_2")
+    art.append(f"  copies: {[list(r3.subcube_members(i)) for i in range(4)]}")
+    art.append(f"  joining edges ({len(r3.joining_edges())}): {r3.joining_edges()}")
+    emit("E5_fig4_instances", "\n".join(art))
+    assert len(r2.joining_edges()) == 4
+    assert len(r3.joining_edges()) == 16
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_isomorphism_between_presentations(benchmark, n):
+    dc = DualCube(n)
+    r = RecursiveDualCube(n)
+
+    def check():
+        fwd = [standard_to_recursive(n, u) for u in dc.nodes()]
+        ok = sorted(fwd) == list(dc.nodes())
+        for u in dc.nodes():
+            ok &= recursive_to_standard(n, fwd[u]) == u
+        for u, v in dc.edges():
+            ok &= r.has_edge(fwd[u], fwd[v])
+        return ok
+
+    assert benchmark(check)

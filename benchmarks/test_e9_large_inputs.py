@@ -1,0 +1,106 @@
+"""E9 — future-work item 1: inputs larger than the network.
+
+Blocked prefix and merge-split sort for N = B * 2^(2n-1), B in 1..64.
+
+Expected shape: network communication *steps* are flat in B (the schedule
+is unchanged); message payload grows linearly in B; per-node local work
+grows as O(B) for prefix and O(B log B + B * steps) for sort — so for
+fixed hardware the efficiency sweet spot moves toward larger B, the
+standard coarsening story the paper's future work anticipates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import dual_prefix_comm_exact, dual_sort_comm_exact
+from repro.analysis.tables import format_table
+from repro.core.large_inputs import large_prefix, large_sort
+from repro.core.ops import ADD
+from repro.simulator import CostCounters
+from repro.topology import DualCube, RecursiveDualCube
+
+from benchmarks._util import emit
+
+BLOCKS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def prefix_rows(n: int):
+    dc = DualCube(n)
+    rows = []
+    for b in BLOCKS:
+        rng = np.random.default_rng(b)
+        vals = rng.integers(0, 100, b * dc.num_nodes)
+        c = CostCounters(dc.num_nodes)
+        out = large_prefix(dc, vals, ADD, counters=c)
+        assert list(out) == list(np.cumsum(vals))
+        rows.append(
+            (b, b * dc.num_nodes, c.comm_steps, c.payload_items, c.max_node_ops)
+        )
+    return rows
+
+
+def sort_rows(n: int):
+    rdc = RecursiveDualCube(n)
+    rows = []
+    for b in BLOCKS:
+        rng = np.random.default_rng(b)
+        keys = rng.integers(0, 10**6, b * rdc.num_nodes)
+        c = CostCounters(rdc.num_nodes)
+        out = large_sort(rdc, keys, counters=c)
+        assert list(out) == sorted(keys)
+        rows.append(
+            (b, b * rdc.num_nodes, c.comm_steps, c.payload_items, c.max_node_ops)
+        )
+    return rows
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_large_prefix_scaling(benchmark, n):
+    rows = benchmark.pedantic(prefix_rows, args=(n,), rounds=1, iterations=1)
+    emit(
+        f"E9_large_prefix_n{n}",
+        format_table(
+            ["B = N/P", "N", "comm steps", "payload items", "max node ops"],
+            rows,
+            title=f"Large-input prefix on D_{n}: steps flat, local work linear in B",
+        ),
+    )
+    comm = {r[2] for r in rows}
+    assert comm == {dual_prefix_comm_exact(n)}
+    ops = [r[4] for r in rows]
+    assert all(b >= a for a, b in zip(ops, ops[1:]))
+    # Linear-in-B local work: doubling B from 32 to 64 roughly doubles ops.
+    assert 1.5 <= ops[-1] / ops[-2] <= 2.5
+
+
+@pytest.mark.parametrize("n", [3])
+def test_large_sort_scaling(benchmark, n):
+    rows = benchmark.pedantic(sort_rows, args=(n,), rounds=1, iterations=1)
+    emit(
+        f"E9_large_sort_n{n}",
+        format_table(
+            ["B = N/P", "N", "comm steps", "payload items", "max node ops"],
+            rows,
+            title=f"Large-input sort on D_{n}: steps flat, payload linear in B",
+        ),
+    )
+    assert {r[2] for r in rows} == {dual_sort_comm_exact(n)}
+    payloads = [r[3] for r in rows]
+    assert payloads[1] == 2 * payloads[0]
+    assert payloads[-1] == 64 * payloads[0]
+
+
+def test_large_sort_wallclock(benchmark):
+    """N = 64 * 512 = 32768 keys on D_5."""
+    rdc = RecursiveDualCube(5)
+    keys = np.random.default_rng(1).permutation(64 * rdc.num_nodes)
+    out = benchmark(lambda: large_sort(rdc, keys))
+    assert list(out) == list(range(64 * rdc.num_nodes))
+
+
+def test_large_prefix_wallclock(benchmark):
+    """N = 64 * 2048 = 131072 values on D_6."""
+    dc = DualCube(6)
+    vals = np.random.default_rng(2).integers(0, 100, 64 * dc.num_nodes)
+    out = benchmark(lambda: large_prefix(dc, vals, ADD))
+    assert out[-1] == vals.sum()

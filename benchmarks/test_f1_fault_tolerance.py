@@ -1,0 +1,119 @@
+"""F1 — extension: fault tolerance of the dual-cube.
+
+The dual-cube literature the paper builds on studies faulty networks;
+this experiment measures what the degree-n structure buys:
+
+* node connectivity is exactly n (Menger: n internally disjoint paths
+  between every pair), so any n-1 node faults leave the network routable;
+* BFS routing and local-information adaptive routing both keep succeeding
+  at n-1 random faults, with bounded stretch.
+
+Expected shape: success rate 1.0 up to n-1 faults; beyond that it decays
+as random fault sets start cutting nodes off; adaptive stretch stays
+small (the distance metric still guides well around isolated faults).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.routing.fault_tolerant import (
+    adaptive_route,
+    ft_route,
+    node_connectivity,
+    node_disjoint_paths,
+)
+from repro.topology import DualCube, FaultSet, FaultyTopology
+
+from benchmarks._util import emit
+
+
+def fault_sweep_rows(n: int, trials: int = 40):
+    dc = DualCube(n)
+    rows = []
+    for faults in range(0, 2 * n):
+        reachable = routed = adaptive_ok = 0
+        stretch_total = stretch_count = 0
+        for t in range(trials):
+            rng = np.random.default_rng(10_000 * n + 100 * faults + t)
+            fs = FaultSet.random(dc, faults, 0, rng)
+            ft = FaultyTopology(dc, fs)
+            healthy = ft.healthy_nodes()
+            u, v = (int(x) for x in rng.choice(healthy, 2, replace=False))
+            p = ft_route(ft, u, v)
+            if p is None:
+                continue
+            reachable += 1
+            routed += 1
+            walk = adaptive_route(ft, dc, u, v)
+            if walk is not None and walk[-1] == v:
+                adaptive_ok += 1
+                stretch_total += (len(walk) - 1) / (len(p) - 1) if len(p) > 1 else 1
+                stretch_count += 1
+        rows.append(
+            (
+                faults,
+                trials,
+                reachable,
+                routed,
+                adaptive_ok,
+                round(stretch_total / stretch_count, 3) if stretch_count else "-",
+            )
+        )
+    return rows
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_fault_sweep(benchmark, n):
+    rows = benchmark.pedantic(fault_sweep_rows, args=(n,), rounds=1, iterations=1)
+    emit(
+        f"F1_fault_sweep_n{n}",
+        format_table(
+            ["node faults", "trials", "connected pairs", "BFS routed", "adaptive routed", "mean stretch"],
+            rows,
+            title=f"D_{n} under random node faults (connectivity = {n})",
+        ),
+    )
+    for faults, trials, reachable, routed, adaptive_ok, _ in rows:
+        assert routed == reachable  # BFS finds a path whenever one exists
+        assert adaptive_ok == reachable  # backtracking greedy also succeeds
+        if faults <= n - 1:
+            # Below the connectivity, no healthy pair can be disconnected.
+            assert reachable == trials
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_connectivity_equals_degree(benchmark, n):
+    dc = DualCube(n)
+    k = benchmark.pedantic(node_connectivity, args=(dc,), rounds=1, iterations=1)
+    assert k == n
+
+
+def test_disjoint_paths_table(benchmark):
+    def rows():
+        out = []
+        for n in (2, 3, 4):
+            dc = DualCube(n)
+            rng = np.random.default_rng(n)
+            counts = []
+            longest = 0
+            for _ in range(10):
+                u, v = (int(x) for x in rng.choice(dc.num_nodes, 2, replace=False))
+                paths = node_disjoint_paths(dc, u, v)
+                counts.append(len(paths))
+                longest = max(longest, max(len(p) - 1 for p in paths))
+            out.append((n, min(counts), max(counts), longest, dc.diameter()))
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    emit(
+        "F1_disjoint_paths",
+        format_table(
+            ["n", "min disjoint paths", "max", "longest path used", "diameter"],
+            table,
+            title="Menger witnesses: n node-disjoint paths between random pairs",
+        ),
+    )
+    for n, lo, hi, longest, diam in table:
+        assert lo == hi == n
+        assert longest <= diam + 2 * n  # detour paths stay short

@@ -1,0 +1,91 @@
+"""F3 — broadcast latency under faults.
+
+The intact D_n broadcasts in 2n rounds (its diameter; experiment F2).
+This experiment sweeps random node-fault counts and measures the
+information-theoretic broadcast lower bound on the surviving network —
+the source's eccentricity — plus how often the network stays whole.
+
+Expected shape: below the connectivity (faults <= n-1) everything stays
+reachable and the eccentricity grows by at most a few hops; well past it,
+disconnection probability rises while reachable-part latency stays low
+(faults thin the network but the dual-cube's many short detours keep
+eccentricity near the diameter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.routing import broadcast_depth
+from repro.topology import DualCube, FaultSet, FaultyTopology
+
+from benchmarks._util import emit
+
+
+def degradation_rows(n: int, trials: int = 50):
+    dc = DualCube(n)
+    rows = []
+    for faults in (0, 1, n - 1, n, 2 * n, 4 * n):
+        depths = []
+        disconnected = 0
+        for t in range(trials):
+            rng = np.random.default_rng(31_000 * n + 1000 * faults + t)
+            fs = FaultSet.random(dc, faults, 0, rng)
+            ft = FaultyTopology(dc, fs)
+            src = int(rng.choice(ft.healthy_nodes()))
+            d = broadcast_depth(ft, src)
+            if d is None:
+                disconnected += 1
+            else:
+                depths.append(d)
+        rows.append(
+            (
+                faults,
+                trials,
+                disconnected,
+                min(depths) if depths else "-",
+                round(float(np.mean(depths)), 2) if depths else "-",
+                max(depths) if depths else "-",
+            )
+        )
+    return rows
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_broadcast_degradation(benchmark, n):
+    rows = benchmark.pedantic(degradation_rows, args=(n,), rounds=1, iterations=1)
+    emit(
+        f"F3_broadcast_degradation_n{n}",
+        format_table(
+            ["node faults", "trials", "disconnected", "min depth", "mean depth", "max depth"],
+            rows,
+            title=f"D_{n}: broadcast latency lower bound (source eccentricity) "
+            f"under random node faults — intact broadcast: {2 * n} rounds",
+        ),
+    )
+    # Below the connectivity: never disconnected; latency within a small
+    # additive margin of the fault-free diameter.
+    for faults, trials, disconnected, _lo, _mean, hi in rows:
+        if faults <= n - 1:
+            assert disconnected == 0
+            assert hi <= 2 * n + 2
+
+    # Fault-free rows must show the exact diameter bound.
+    faults0 = rows[0]
+    assert faults0[0] == 0 and faults0[5] <= 2 * n
+
+
+def test_engine_broadcast_matches_intact_depth(benchmark):
+    """Cross-check: the cycle-accurate broadcast achieves 2n rounds, the
+    eccentricity bound on the intact network."""
+    from repro.routing import broadcast_engine
+
+    dc = DualCube(3)
+
+    def run():
+        return broadcast_engine(dc, 5, "payload")
+
+    got, res = benchmark(run)
+    ft = FaultyTopology(dc, FaultSet())
+    assert res.comm_steps == 2 * dc.n
+    assert broadcast_depth(ft, 5) <= res.comm_steps

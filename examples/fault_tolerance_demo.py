@@ -1,0 +1,76 @@
+"""Fault tolerance: routing a dual-cube with failed processors.
+
+D_n is n-connected — every node has n links and there are n node-disjoint
+paths between any two nodes — so the network survives any n-1 processor
+failures.  This demo kills processors in a D_4 (128 nodes, degree 4),
+shows the surviving disjoint paths, and compares global-information BFS
+routing against local-information adaptive routing.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+import numpy as np
+
+from repro.routing.fault_tolerant import (
+    adaptive_route,
+    ft_route,
+    node_connectivity,
+    node_disjoint_paths,
+)
+from repro.topology import DualCube, FaultSet, FaultyTopology
+from repro.viz import render_route
+
+
+def main() -> None:
+    n = 4
+    dc = DualCube(n)
+    print(f"{dc.name}: {dc.num_nodes} nodes, degree {dc.n}, "
+          f"node connectivity {node_connectivity(DualCube(3))} measured on D_3 "
+          f"(= n; D_4 exact check is slower but identical by structure)")
+    print()
+
+    u, v = 0, dc.num_nodes - 1
+    paths = node_disjoint_paths(dc, u, v)
+    print(f"{len(paths)} node-disjoint paths {u} -> {v}:")
+    for p in paths:
+        print(f"  {' -> '.join(map(str, p))}")
+    print()
+
+    rng = np.random.default_rng(13)
+    faults = FaultSet.random(dc, n - 1, 0, rng)
+    ft = FaultyTopology(dc, faults)
+    print(f"killing {n - 1} random processors: {sorted(faults.nodes)}")
+    print()
+
+    healthy = ft.healthy_nodes()
+    demo_pairs = [(healthy[0], healthy[-1]), (healthy[3], healthy[-7])]
+    for a, b in demo_pairs:
+        bfs = ft_route(ft, a, b)
+        walk = adaptive_route(ft, dc, a, b)
+        print(f"{a} -> {b}: fault-free distance {dc.distance(a, b)}, "
+              f"BFS around faults {len(bfs) - 1} hops, "
+              f"adaptive walk {len(walk) - 1} hops")
+    print()
+
+    print("one BFS route in detail:")
+    print(render_route(dc, ft_route(ft, demo_pairs[0][0], demo_pairs[0][1])))
+    print()
+
+    # Success-rate sweep past the guarantee.
+    print("random-fault sweep (30 trials each):")
+    for k in (n - 1, n + 1, 2 * n, 3 * n):
+        ok = 0
+        for t in range(30):
+            trial = np.random.default_rng(1000 * k + t)
+            fs = FaultSet.random(dc, k, 0, trial)
+            fview = FaultyTopology(dc, fs)
+            h = fview.healthy_nodes()
+            a, b = (int(x) for x in trial.choice(h, 2, replace=False))
+            if ft_route(fview, a, b) is not None:
+                ok += 1
+        guarantee = " (guaranteed)" if k <= n - 1 else ""
+        print(f"  {k:2d} faults: {ok}/30 random pairs connected{guarantee}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Topology tour: why the dual-cube (the paper's Sections 1-2 and 4).
+
+Walks the structural story: the dual-cube keeps hypercube-like distances
+with about half the links per node, against the bounded-degree rivals;
+shortest-path routing pays at most two extra cross-edge hops; and D_n is
+built recursively from four D_{n-1}.
+
+Run:  python examples/topology_tour.py
+"""
+
+from repro import (
+    CubeConnectedCycles,
+    DeBruijn,
+    DualCube,
+    Hypercube,
+    RecursiveDualCube,
+    ShuffleExchange,
+    WrappedButterfly,
+    route,
+)
+from repro.analysis.tables import format_table
+from repro.topology import measure
+
+
+def main() -> None:
+    print("=== Degree / diameter landscape around 512 nodes ===")
+    rows = [
+        measure(t).row()
+        for t in (
+            DualCube(5),
+            Hypercube(9),
+            CubeConnectedCycles(6),
+            WrappedButterfly(6),
+            DeBruijn(9),
+            ShuffleExchange(9),
+        )
+    ]
+    print(
+        format_table(
+            ["network", "nodes", "edges", "degree", "diameter", "avg dist", "deg*diam"],
+            rows,
+        )
+    )
+    print()
+
+    print("=== Scaling to 'tens of thousands of processors' ===")
+    rows = []
+    for n in range(2, 9):
+        dc = DualCube(n)
+        rows.append((dc.name, dc.num_nodes, dc.n, 2 * n - 1, dc.diameter()))
+    print(
+        format_table(
+            ["network", "nodes", "links/node", "hypercube would need", "diameter"],
+            rows,
+        )
+    )
+    print()
+
+    print("=== Routing: at most Hamming + 2 ===")
+    dc = DualCube(3)
+    cases = [
+        (dc.compose(0, 1, 2), dc.compose(0, 1, 3), "same cluster"),
+        (dc.compose(0, 1, 2), dc.compose(1, 3, 0), "different classes"),
+        (dc.compose(0, 0, 0), dc.compose(0, 3, 2), "same class, different clusters"),
+    ]
+    for u, v, kind in cases:
+        path = route(dc, u, v)
+        print(f"{kind:32s} {u:2d} -> {v:2d}: "
+              f"{' -> '.join(format(w, '05b') for w in path)}  "
+              f"({len(path) - 1} hops, distance {dc.distance(u, v)})")
+    print()
+
+    print("=== Recursive construction (Figure 4) ===")
+    for n in (2, 3):
+        r = RecursiveDualCube(n)
+        joins = r.joining_edges()
+        print(f"D_{n} = four D_{n - 1} copies "
+              f"{[tuple(r.subcube_members(i))[:2] + ('...',) for i in range(4)]}"
+              f" + {len(joins)} joining links")
+    r = RecursiveDualCube(3)
+    print(f"D_3 joining links: {r.joining_edges()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The target environment is offline and lacks the ``wheel`` package, so the
+PEP 517 editable path (which shells out to ``bdist_wheel``) cannot run.
+With no ``[build-system]`` table in pyproject.toml, ``pip install -e .``
+falls back to ``setup.py develop``, which works offline.  All metadata
+lives in pyproject.toml's ``[project]`` table and is read by setuptools.
+"""
+
+from setuptools import setup
+
+setup()

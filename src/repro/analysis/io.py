@@ -1,0 +1,76 @@
+"""Persistence of experiment results.
+
+Benchmark runs persist their regenerated artifacts as plain text under
+``benchmarks/out/``; this module adds structured JSON records for
+programmatic consumers (cost counters + parameters + environment), and
+the collector the ``report`` CLI uses to enumerate what a run produced.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.simulator.counters import CostCounters
+
+__all__ = ["ExperimentRecord", "save_record", "load_record", "collect_artifacts"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One structured measurement: what ran, on what, and what it cost."""
+
+    experiment: str
+    parameters: dict
+    counters: dict
+    notes: str = ""
+    environment: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_counters(
+        cls,
+        experiment: str,
+        parameters: dict,
+        counters: CostCounters,
+        *,
+        notes: str = "",
+    ) -> "ExperimentRecord":
+        """Snapshot a counters object into a record."""
+        return cls(
+            experiment=experiment,
+            parameters=dict(parameters),
+            counters=counters.summary(),
+            notes=notes,
+            environment={
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+        )
+
+
+def save_record(record: ExperimentRecord, path) -> Path:
+    """Write a record as JSON; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(asdict(record), indent=2, sort_keys=True) + "\n")
+    return p
+
+
+def load_record(path) -> ExperimentRecord:
+    """Read a record written by :func:`save_record`."""
+    data = json.loads(Path(path).read_text())
+    return ExperimentRecord(**data)
+
+
+def collect_artifacts(directory) -> dict[str, str]:
+    """Map artifact name -> first line (title) for every ``*.txt`` artifact."""
+    out: dict[str, str] = {}
+    d = Path(directory)
+    if not d.is_dir():
+        return out
+    for f in sorted(d.glob("*.txt")):
+        first = f.read_text().splitlines()
+        out[f.stem] = first[0] if first else ""
+    return out

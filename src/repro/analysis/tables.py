@@ -1,0 +1,54 @@
+"""Plain-text and Markdown table rendering for the benchmark harness.
+
+The paper has no numeric tables (its evaluation is figures + theorems),
+so the harness prints its regenerated artifacts as aligned text tables —
+one per experiment — and EXPERIMENTS.md embeds the Markdown form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(rows: Iterable[Sequence]) -> list[list[str]]:
+    out = []
+    for row in rows:
+        out.append(
+            [
+                f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    return out
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, title: str = "") -> str:
+    """Monospace-aligned table with optional title line."""
+    srows = _stringify(rows)
+    cols = [list(c) for c in zip(*([list(map(str, headers))] + srows))] if srows else [
+        [h] for h in map(str, headers)
+    ]
+    widths = [max(len(v) for v in col) for col in cols]
+    sep = "-+-".join("-" * w for w in widths)
+
+    def fmt(row):
+        return " | ".join(v.rjust(w) for v, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(map(str, headers))))
+    lines.append(sep)
+    lines.extend(fmt(r) for r in srows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """GitHub-flavoured Markdown table."""
+    srows = _stringify(rows)
+    head = "| " + " | ".join(map(str, headers)) + " |"
+    rule = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(r) + " |" for r in srows]
+    return "\n".join([head, rule, *body])

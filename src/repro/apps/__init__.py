@@ -1,0 +1,32 @@
+"""Application algorithms built on the dual-cube library.
+
+The paper's future-work item 3 ("investigate and develop more application
+algorithms in dual-cube using the proposed techniques"): classic
+data-parallel kernels (Hillis & Steele) expressed through `D_prefix` and
+`D_sort`.
+"""
+
+from repro.apps.scan_apps import (
+    stream_compact,
+    enumerate_true,
+    linear_recurrence,
+    segmented_sum,
+)
+from repro.apps.order_stats import parallel_quantiles, parallel_top_k, parallel_histogram
+from repro.apps.linear_algebra import RowBlockMatrix, distributed_matvec, power_iteration
+from repro.apps.sample_sort import SampleSortStats, sample_sort
+
+__all__ = [
+    "stream_compact",
+    "enumerate_true",
+    "linear_recurrence",
+    "segmented_sum",
+    "parallel_quantiles",
+    "parallel_top_k",
+    "parallel_histogram",
+    "RowBlockMatrix",
+    "distributed_matvec",
+    "power_iteration",
+    "SampleSortStats",
+    "sample_sort",
+]

@@ -1,0 +1,107 @@
+"""Sample sort on the dual-cube (a data-dependent contrast to D_sort).
+
+`D_sort` and its blocked variant are *oblivious*: the communication
+schedule is fixed, so every key crosses many links.  Sample sort is the
+classic data-dependent alternative for N = B·V keys:
+
+1. every node sorts locally and contributes regular samples;
+2. the samples are allgathered (2n steps) and V-1 splitters chosen;
+3. every key is routed *once* to its destination bucket along a shortest
+   path (the data-dependent, irregular phase);
+4. buckets sort locally.
+
+The honest cost comparison with the blocked bitonic sort is total
+**key-link traversals**: sample sort pays one shortest path per key
+(average ~ the mean distance of D_n) versus the bitonic schedule's many
+rounds — experiment E16 regenerates the gap, along with sample sort's
+weakness (bucket imbalance) that the oblivious algorithm never has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.dualcube_routing import route_length
+from repro.topology.dualcube import DualCube
+
+__all__ = ["SampleSortStats", "sample_sort"]
+
+
+@dataclass(frozen=True)
+class SampleSortStats:
+    """Cost and balance metrics of one sample-sort run."""
+
+    num_keys: int
+    num_buckets: int
+    key_link_traversals: int
+    sample_traffic: int
+    max_bucket: int
+    min_bucket: int
+    avg_key_distance: float
+
+    @property
+    def imbalance(self) -> float:
+        """Largest bucket over the perfectly balanced size (1.0 = flat)."""
+        return self.max_bucket / (self.num_keys / self.num_buckets)
+
+
+def sample_sort(
+    dc: DualCube,
+    keys,
+    *,
+    oversample: int = 4,
+) -> tuple[np.ndarray, SampleSortStats]:
+    """Sort N = B * V numeric keys; returns (sorted array, stats).
+
+    Keys are blocked by node in address order (node u holds
+    ``keys[uB:(u+1)B]``); the output is globally sorted.  ``oversample``
+    controls splitter quality (samples per node).
+    """
+    arr = np.asarray(keys)
+    v = dc.num_nodes
+    if arr.ndim != 1 or len(arr) == 0 or len(arr) % v:
+        raise ValueError(
+            f"key count {arr.shape} must be a positive multiple of {v}"
+        )
+    if oversample < 1:
+        raise ValueError(f"oversample must be >= 1, got {oversample}")
+    b = len(arr) // v
+    blocks = np.sort(arr.reshape(v, b), axis=1)
+
+    # Phase 1-2: regular samples, allgather, splitters.
+    per_node = min(oversample, b)
+    sample_cols = np.linspace(0, b - 1, per_node).astype(int)
+    samples = np.sort(blocks[:, sample_cols].reshape(-1))
+    # V-1 splitters at regular ranks of the gathered sample.
+    ranks = (np.arange(1, v) * len(samples)) // v
+    splitters = samples[ranks]
+    sample_traffic = v * per_node * 2 * dc.n  # allgather rounds upper bound
+
+    # Phase 3: each key's destination bucket; route each block's keys.
+    dest = np.searchsorted(splitters, arr.reshape(v, b), side="right")
+    traversals = 0
+    total_distance = 0
+    bucket_sizes = np.zeros(v, dtype=np.int64)
+    for u in range(v):
+        uniq, counts = np.unique(dest[u], return_counts=True)
+        for d, cnt in zip(uniq, counts):
+            bucket_sizes[d] += cnt
+            if d != u:
+                hops = route_length(dc, u, int(d))
+                traversals += hops * int(cnt)
+                total_distance += hops * int(cnt)
+
+    # Phase 4: bucket-local sort; concatenation is the global order.
+    out = np.sort(arr)  # value-wise identical to bucket concatenation
+    stats = SampleSortStats(
+        num_keys=len(arr),
+        num_buckets=v,
+        key_link_traversals=traversals,
+        sample_traffic=sample_traffic,
+        max_bucket=int(bucket_sizes.max()),
+        min_bucket=int(bucket_sizes.min()),
+        avg_key_distance=total_distance / len(arr),
+    )
+    return out, stats

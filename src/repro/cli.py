@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's headline results from a shell — network facts, the
+theorem tables, a prefix/sort run with measured costs, routing demos,
+and the random-traffic comparison — without writing any Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.complexity import (
+    dual_prefix_comm_exact,
+    dual_sort_comm_exact,
+    hypercube_bitonic_steps,
+    hypercube_prefix_steps,
+    theorem1_comm_bound,
+    theorem1_comp_bound,
+    theorem2_comm_bound,
+    theorem2_comp_bound,
+)
+from repro.analysis.tables import format_table
+from repro.core.dual_prefix import dual_prefix_vec
+from repro.core.dual_sort import dual_sort_vec
+from repro.core.ops import ADD
+from repro.routing.dualcube_routing import route
+from repro.simulator import CostCounters
+from repro.simulator.traffic import (
+    hypercube_dimension_order_path,
+    random_pairs,
+    run_traffic,
+)
+from repro.topology import DualCube, Hypercube, RecursiveDualCube
+from repro.viz.ascii_art import render_clusters, render_route
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_info(args) -> int:
+    dc = DualCube(args.n)
+    print(
+        f"{dc.name}: {dc.num_nodes} nodes, {dc.edge_count()} edges, "
+        f"degree {dc.n}, diameter {dc.diameter()}, "
+        f"2 classes x {dc.clusters_per_class} clusters x "
+        f"{dc.nodes_per_cluster} nodes"
+    )
+    if args.layout:
+        print(render_clusters(dc))
+    return 0
+
+
+def _cmd_theorems(args) -> int:
+    rows1 = [
+        (
+            n,
+            2 ** (2 * n - 1),
+            dual_prefix_comm_exact(n),
+            theorem1_comm_bound(n),
+            hypercube_prefix_steps(2 * n - 1),
+            theorem1_comp_bound(n),
+        )
+        for n in range(1, args.max_n + 1)
+    ]
+    print(
+        format_table(
+            ["n", "nodes", "comm (ours)", "bound 2n+1", "Q_(2n-1)", "comp 2n"],
+            rows1,
+            title="Theorem 1 — D_prefix",
+        )
+    )
+    print()
+    rows2 = [
+        (
+            n,
+            2 ** (2 * n - 1),
+            dual_sort_comm_exact(n),
+            theorem2_comm_bound(n),
+            hypercube_bitonic_steps(2 * n - 1),
+            round(dual_sort_comm_exact(n) / hypercube_bitonic_steps(2 * n - 1), 3),
+            theorem2_comp_bound(n),
+        )
+        for n in range(1, args.max_n + 1)
+    ]
+    print(
+        format_table(
+            ["n", "nodes", "comm (ours)", "bound", "Q_(2n-1)", "ratio", "comp"],
+            rows2,
+            title="Theorem 2 — D_sort",
+        )
+    )
+    return 0
+
+
+def _cmd_prefix(args) -> int:
+    dc = DualCube(args.n)
+    rng = np.random.default_rng(args.seed)
+    vals = rng.integers(0, 100, dc.num_nodes)
+    counters = CostCounters(dc.num_nodes)
+    out = dual_prefix_vec(dc, vals, ADD, counters=counters)
+    print(f"input : {[int(v) for v in vals[: args.show]]}...")
+    print(f"prefix: {[int(v) for v in out[: args.show]]}...")
+    print(
+        f"cost: {counters.comm_steps} comm steps "
+        f"(bound {theorem1_comm_bound(args.n)}), "
+        f"{counters.comp_steps} comp steps"
+    )
+    return 0
+
+
+def _cmd_sort(args) -> int:
+    rdc = RecursiveDualCube(args.n)
+    rng = np.random.default_rng(args.seed)
+    keys = rng.permutation(rdc.num_nodes)
+    counters = CostCounters(rdc.num_nodes)
+    out = dual_sort_vec(rdc, keys, counters=counters)
+    ok = list(out) == sorted(keys)
+    print(f"keys  : {[int(v) for v in keys[: args.show]]}...")
+    print(f"sorted: {[int(v) for v in out[: args.show]]}...  ({'ok' if ok else 'WRONG'})")
+    print(
+        f"cost: {counters.comm_steps} comm steps "
+        f"(bound {theorem2_comm_bound(args.n)}), "
+        f"{counters.comp_steps} comparison steps"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_route(args) -> int:
+    dc = DualCube(args.n)
+    path = route(dc, args.src, args.dst)
+    print(render_route(dc, path))
+    return 0
+
+
+def _cmd_traffic(args) -> int:
+    n = args.n
+    dc = DualCube(n)
+    cube = Hypercube(2 * n - 1)
+    rng = np.random.default_rng(args.seed)
+    pairs = random_pairs(dc.num_nodes, args.pairs, rng)
+    stats_d = run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+    stats_q = run_traffic(cube, hypercube_dimension_order_path, pairs)
+    print(
+        format_table(
+            ["network", "pairs", "avg hops", "max link load", "imbalance", "loaded links", "links"],
+            [stats_d.row(), stats_q.row()],
+            title=f"Random traffic, {args.pairs} pairs",
+        )
+    )
+    return 0
+
+
+def _cmd_hamiltonian(args) -> int:
+    from repro.topology import RecursiveDualCube as RDC
+    from repro.topology import hamiltonian_cycle, ring_embedding_dilation
+
+    rdc = RDC(args.n)
+    cyc = hamiltonian_cycle(args.n)
+    print(f"Hamiltonian cycle of {rdc.name} ({rdc.num_nodes} nodes), dilation "
+          f"{ring_embedding_dilation(rdc, cyc)}:")
+    shown = " -> ".join(map(str, cyc[: args.show]))
+    print(f"  {shown}{' -> ...' if len(cyc) > args.show else ''}")
+    return 0
+
+
+def _cmd_collectives(args) -> int:
+    from repro.routing import (
+        allgather_engine,
+        allreduce_engine,
+        broadcast_engine,
+        gather_engine,
+        scatter_engine,
+    )
+
+    dc = DualCube(args.n)
+    vals = list(range(dc.num_nodes))
+    rows = []
+    _, res = broadcast_engine(dc, 0, 42)
+    rows.append(("broadcast", res.comm_steps, res.counters.messages, res.counters.payload_items))
+    _, res = allreduce_engine(dc, vals, ADD)
+    rows.append(("allreduce", res.comm_steps, res.counters.messages, res.counters.payload_items))
+    _, res = scatter_engine(dc, 0, vals)
+    rows.append(("scatter", res.comm_steps, res.counters.messages, res.counters.payload_items))
+    _, res = gather_engine(dc, 0, vals)
+    rows.append(("gather", res.comm_steps, res.counters.messages, res.counters.payload_items))
+    _, res = allgather_engine(dc, vals)
+    rows.append(("allgather", res.comm_steps, res.counters.messages, res.counters.payload_items))
+    print(
+        format_table(
+            ["collective", "steps", "messages", "payload items"],
+            rows,
+            title=f"Collectives on {dc.name} (diameter {dc.diameter()})",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.io import collect_artifacts
+
+    out_dir = Path(args.dir)
+    arts = collect_artifacts(out_dir)
+    if not arts:
+        print(f"no artifacts under {out_dir} — run: pytest benchmarks/ --benchmark-only")
+        return 1
+    print(f"{len(arts)} regenerated artifacts under {out_dir}:")
+    for name, title in arts.items():
+        print(f"  {name:36s} {title}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Dual-cube prefix computation and sorting (Li, Peng, Chu, ICPP 2008)",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("info", help="network facts for D_n")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("--layout", action="store_true", help="print the cluster diagram")
+    sp.set_defaults(fn=_cmd_info)
+
+    sp = sub.add_parser("theorems", help="Theorem 1/2 cost tables")
+    sp.add_argument("--max-n", type=int, default=8)
+    sp.set_defaults(fn=_cmd_theorems)
+
+    sp = sub.add_parser("prefix", help="run D_prefix with measured costs")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--show", type=int, default=8)
+    sp.set_defaults(fn=_cmd_prefix)
+
+    sp = sub.add_parser("sort", help="run D_sort with measured costs")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--show", type=int, default=8)
+    sp.set_defaults(fn=_cmd_sort)
+
+    sp = sub.add_parser("route", help="shortest path between two nodes")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("src", type=int)
+    sp.add_argument("dst", type=int)
+    sp.set_defaults(fn=_cmd_route)
+
+    sp = sub.add_parser("traffic", help="random-traffic comparison vs hypercube")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("--pairs", type=int, default=500)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=_cmd_traffic)
+
+    sp = sub.add_parser("hamiltonian", help="Hamiltonian cycle / ring embedding")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("--show", type=int, default=16)
+    sp.set_defaults(fn=_cmd_hamiltonian)
+
+    sp = sub.add_parser("collectives", help="cycle-accurate collective costs")
+    sp.add_argument("-n", type=int, default=3)
+    sp.set_defaults(fn=_cmd_collectives)
+
+    sp = sub.add_parser("report", help="list regenerated experiment artifacts")
+    sp.add_argument("--dir", default="benchmarks/out")
+    sp.set_defaults(fn=_cmd_report)
+
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

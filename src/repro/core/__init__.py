@@ -1,0 +1,136 @@
+"""The paper's algorithms: parallel prefix and sorting in the dual-cube.
+
+Every algorithm exists in two executions:
+
+* an **engine program** — SPMD generator run on the cycle-accurate
+  simulator, which *measures* communication/computation steps under the
+  1-port model (this is what validates Theorems 1 and 2);
+* a **vectorized backend** — the whole network state as NumPy arrays with
+  dimension exchanges as index permutations, which runs orders of
+  magnitude faster and is used for large-n benchmarks and traces.
+
+Both are cross-checked against each other and against sequential oracles
+in the test suite.
+"""
+
+from repro.core.ops import (
+    AssocOp,
+    ADD,
+    MUL,
+    MIN,
+    MAX,
+    CONCAT,
+    MATMUL2,
+    combine_arrays,
+)
+from repro.core.arrangement import (
+    arranged_index,
+    arranged_index_v,
+    arrange,
+    dearrange,
+)
+from repro.core.cube_prefix import (
+    cube_prefix,
+    cube_prefix_vec,
+    cube_prefix_program,
+)
+from repro.core.dual_prefix import (
+    dual_prefix,
+    dual_prefix_vec,
+    dual_prefix_engine,
+    dual_suffix_vec,
+)
+from repro.core.bitonic import (
+    is_bitonic,
+    hypercube_bitonic_sort,
+    hypercube_bitonic_sort_vec,
+    hypercube_bitonic_sort_engine,
+    bitonic_schedule,
+)
+from repro.core.dual_sort import (
+    dual_sort,
+    dual_sort_vec,
+    dual_sort_engine,
+    dual_sort_schedule,
+    ScheduleStep,
+)
+from repro.core.large_inputs import large_prefix, large_prefix_engine, large_sort
+from repro.core.emulation import (
+    emulated_cube_prefix,
+    emulated_cube_prefix_vec,
+    run_exchange_algorithm_engine,
+    run_exchange_algorithm_vec,
+    emulation_comm_steps,
+)
+from repro.core.ring_sort import ring_sort_engine, ring_sort_vec, ring_sort_steps
+from repro.core.sorting_networks import (
+    bitonic_sort_network,
+    odd_even_merge_sort_network,
+    schedule_to_network,
+    apply_network,
+    network_depth,
+    comparator_count,
+    verify_zero_one,
+    is_dimension_exchange_network,
+)
+from repro.core.verify import (
+    check_prefix,
+    check_sorted,
+    is_permutation_of,
+    sequential_prefix,
+)
+
+__all__ = [
+    "AssocOp",
+    "ADD",
+    "MUL",
+    "MIN",
+    "MAX",
+    "CONCAT",
+    "MATMUL2",
+    "combine_arrays",
+    "arranged_index",
+    "arranged_index_v",
+    "arrange",
+    "dearrange",
+    "cube_prefix",
+    "cube_prefix_vec",
+    "cube_prefix_program",
+    "dual_prefix",
+    "dual_prefix_vec",
+    "dual_prefix_engine",
+    "dual_suffix_vec",
+    "is_bitonic",
+    "hypercube_bitonic_sort",
+    "hypercube_bitonic_sort_vec",
+    "hypercube_bitonic_sort_engine",
+    "bitonic_schedule",
+    "dual_sort",
+    "dual_sort_vec",
+    "dual_sort_engine",
+    "dual_sort_schedule",
+    "ScheduleStep",
+    "large_prefix",
+    "large_prefix_engine",
+    "large_sort",
+    "emulated_cube_prefix",
+    "emulated_cube_prefix_vec",
+    "run_exchange_algorithm_engine",
+    "run_exchange_algorithm_vec",
+    "emulation_comm_steps",
+    "ring_sort_engine",
+    "ring_sort_vec",
+    "ring_sort_steps",
+    "bitonic_sort_network",
+    "odd_even_merge_sort_network",
+    "schedule_to_network",
+    "apply_network",
+    "network_depth",
+    "comparator_count",
+    "verify_zero_one",
+    "is_dimension_exchange_network",
+    "check_prefix",
+    "check_sorted",
+    "is_permutation_of",
+    "sequential_prefix",
+]

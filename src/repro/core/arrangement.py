@@ -1,0 +1,75 @@
+"""The D_prefix data arrangement (paper Section 3).
+
+`D_prefix` requires the input indices held inside every cluster to be
+consecutive.  Class-0 addresses already are (the node ID is the low field),
+but class-1 addresses interleave cluster and node IDs the other way round,
+so node ``u`` of class 1 holds ``c[u*]`` where ``u*`` swaps the two
+(n-1)-bit fields: ``u* = (1, cluster_ID(u), node_ID(u))``.
+
+With this arrangement, class-0 cluster ``k`` holds block ``k`` of the first
+half of ``c`` and class-1 cluster ``k`` holds block ``k`` of the second
+half, each block in node-ID order — the property every correctness argument
+in `D_prefix` rests on (and which ablation A2 demonstrates by dropping it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._bits import swap_fields, swap_fields_v
+from repro.topology.dualcube import DualCube
+
+__all__ = ["arranged_index", "arranged_index_v", "arrange", "dearrange"]
+
+
+def arranged_index(dc: DualCube, u: int) -> int:
+    """The global input index ``u*`` whose value node ``u`` holds."""
+    dc.check_node(u)
+    if dc.class_of(u) == 0:
+        return u
+    m = dc.cluster_dim
+    if m == 0:
+        return u
+    return swap_fields(u, 0, m, m)
+
+
+def arranged_index_v(dc: DualCube, u=None) -> np.ndarray:
+    """Vectorized :func:`arranged_index` (defaults to all nodes)."""
+    if u is None:
+        u = dc.all_nodes_array()
+    u = np.asarray(u, dtype=np.int64)
+    m = dc.cluster_dim
+    if m == 0:
+        return u.copy()
+    swapped = swap_fields_v(u, 0, m, m)
+    return np.where(dc.class_of_v(u) == 1, swapped, u)
+
+
+def arrange(dc: DualCube, values) -> np.ndarray:
+    """Distribute input ``values`` onto nodes: node ``u`` gets ``values[u*]``.
+
+    ``values`` must have exactly one entry per node.  Returns an array in
+    node order (numeric dtype preserved, otherwise object).
+    """
+    arr = np.asarray(values)
+    if arr.shape != (dc.num_nodes,):
+        raise ValueError(
+            f"expected {dc.num_nodes} values for {dc.name}, got shape {arr.shape}"
+        )
+    return arr[arranged_index_v(dc)]
+
+
+def dearrange(dc: DualCube, held) -> np.ndarray:
+    """Inverse of :func:`arrange`: gather per-node state back to input order.
+
+    ``out[u*] = held[u]`` — used to report prefix results indexed like the
+    input sequence ``c``.
+    """
+    arr = np.asarray(held)
+    if arr.shape != (dc.num_nodes,):
+        raise ValueError(
+            f"expected {dc.num_nodes} held values for {dc.name}, got shape {arr.shape}"
+        )
+    out = np.empty_like(arr)
+    out[arranged_index_v(dc)] = arr
+    return out

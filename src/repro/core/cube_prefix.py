@@ -1,0 +1,186 @@
+"""Algorithm 1 — Cube_prefix: parallel prefix in a hypercube.
+
+The ascend algorithm: node ``u`` keeps a subcube total ``t`` and a subcube
+prefix ``s``; at round ``i`` it exchanges ``t`` with its dimension-``i``
+neighbor and folds the received sibling-subcube total into ``t`` (always)
+and into ``s`` (when ``u`` lies in the upper half, i.e. bit ``i`` of its
+rank is 1, so the sibling subcube holds the *earlier* indices).
+
+The paper writes the folds as ``x ⊕ temp``; for non-commutative operations
+the sibling total of the lower half must be *pre*-composed, which is what
+this implementation does (``temp ⊕ x`` on the upper side) — the test suite
+checks this with tuple concatenation and matrix products.
+
+Three entry points share the logic:
+
+* :func:`cube_prefix_program` — generator *phase* for SPMD programs
+  (``yield from`` it inside larger algorithms such as `D_prefix`);
+* :func:`cube_prefix` — standalone engine run on a
+  :class:`~repro.topology.hypercube.Hypercube`;
+* :func:`cube_prefix_vec` — vectorized backend on a value array.
+
+All return/produce the pair ``(t, s)``: the cube-wide total and the
+(inclusive or diminished) prefix, exactly Algorithm 1's outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.ops import AssocOp, combine_arrays
+from repro.simulator import CostCounters, SendRecv, TraceRecorder, run_spmd
+from repro.simulator.node import NodeCtx
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "cube_prefix_program",
+    "cube_prefix",
+    "cube_prefix_vec",
+    "ascend_rounds_vec",
+]
+
+
+def cube_prefix_program(
+    ctx: NodeCtx,
+    value: Any,
+    op: AssocOp,
+    *,
+    inclusive: bool = True,
+    q: int | None = None,
+    local_rank: int | None = None,
+    global_dims: Sequence[int] | None = None,
+):
+    """SPMD phase computing (t, s) over a q-dimensional (sub)cube.
+
+    Parameters
+    ----------
+    value:
+        This node's input ``c[u]``.
+    inclusive:
+        Algorithm 1's ``tag``: inclusive prefix when true, diminished
+        (excluding ``c[u]``) when false.
+    q, local_rank, global_dims:
+        The embedding of the subcube: ``local_rank`` is this node's rank
+        within it (default: the node's own rank), ``global_dims[i]`` the
+        address bit that realizes local dimension ``i`` (default: identity).
+        `D_prefix` passes the cluster's node ID and its intra-cluster
+        dimension map here, running one instance per cluster in parallel.
+
+    Yields communication requests; *returns* ``(t, s)``.
+    """
+    topo = ctx.topo
+    if q is None:
+        if not isinstance(topo, Hypercube):
+            raise TypeError(
+                "q/local_rank/global_dims must be given unless running on a "
+                f"Hypercube (got {topo.name})"
+            )
+        q = topo.q
+    if local_rank is None:
+        local_rank = ctx.rank
+    if global_dims is None:
+        global_dims = range(q)
+
+    t = value
+    s = value if inclusive else op.identity
+    for i, gdim in zip(range(q), global_dims):
+        partner = ctx.rank ^ (1 << gdim)
+        temp = yield SendRecv(partner, t)
+        ctx.compute(2)  # one round: t-fold plus (conditional) s-fold
+        if (local_rank >> i) & 1:
+            # Upper half: the sibling subcube holds earlier indices.
+            s = op(temp, s)
+            t = op(temp, t)
+        else:
+            t = op(t, temp)
+    return t, s
+
+
+def cube_prefix(
+    cube: Hypercube,
+    values,
+    op: AssocOp,
+    *,
+    inclusive: bool = True,
+    trace: TraceRecorder | None = None,
+):
+    """Run Algorithm 1 on the cycle-accurate engine.
+
+    Returns ``(t_list, s_list, result)`` where ``t_list[u]``/``s_list[u]``
+    are node ``u``'s outputs and ``result`` the
+    :class:`~repro.simulator.engine.EngineResult` with cost counters.
+    """
+    vals = list(values)
+    if len(vals) != cube.num_nodes:
+        raise ValueError(
+            f"expected {cube.num_nodes} values for {cube.name}, got {len(vals)}"
+        )
+
+    def program(ctx):
+        t, s = yield from cube_prefix_program(
+            ctx, vals[ctx.rank], op, inclusive=inclusive
+        )
+        return (t, s)
+
+    result = run_spmd(cube, program, trace=trace)
+    t_list = [r[0] for r in result.returns]
+    s_list = [r[1] for r in result.returns]
+    return t_list, s_list, result
+
+
+def ascend_rounds_vec(
+    t: np.ndarray,
+    s: np.ndarray,
+    q: int,
+    partner_index_fn,
+    upper_mask_fn,
+    op: AssocOp,
+    counters: CostCounters | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The q ascend rounds on whole-network arrays (vectorized backend core).
+
+    ``partner_index_fn(i)`` maps local round ``i`` to the partner-index
+    array; ``upper_mask_fn(i)`` to the boolean "upper half" mask.  Shared
+    by the standalone hypercube prefix (trivial embeddings) and by
+    `D_prefix` (per-class embeddings), so the exchange arithmetic exists
+    once.
+    """
+    for i in range(q):
+        partners = partner_index_fn(i)
+        upper = upper_mask_fn(i)
+        temp = t[partners]
+        t = np.where(upper, combine_arrays(op, temp, t), combine_arrays(op, t, temp))
+        s = np.where(upper, combine_arrays(op, temp, s), s)
+        if counters is not None:
+            counters.record_comm_step(messages=len(t))
+            counters.record_comp_step(ops_each=2)
+    return t, s
+
+
+def cube_prefix_vec(
+    values,
+    op: AssocOp,
+    *,
+    inclusive: bool = True,
+    counters: CostCounters | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Algorithm 1 over ``2**q`` values; returns ``(t, s)`` arrays."""
+    vals = np.asarray(values)
+    n = len(vals)
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"value count must be a power of two, got {n}")
+    q = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    t = vals.copy()
+    s = vals.copy() if inclusive else op.identity_array(n)
+    return ascend_rounds_vec(
+        t,
+        s,
+        q,
+        lambda i: idx ^ (1 << i),
+        lambda i: (idx >> i) & 1 == 1,
+        op,
+        counters,
+    )

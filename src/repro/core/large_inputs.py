@@ -1,0 +1,201 @@
+"""Inputs larger than the network (the paper's future-work item 1).
+
+Both extensions keep the network phase *identical* to the N = P algorithms
+and add purely local work, which is the standard blocked technique:
+
+* **large prefix** — each node holds a consecutive block of B = N/P items;
+  it computes a local inclusive prefix, runs *diminished* `D_prefix` on
+  the block totals (2n communication steps, unchanged), and folds the
+  returned offset into every local prefix.  Local computation is
+  2B - 1 = O(N/P) operations per node.
+
+* **large sort** — each node locally sorts its block, then the `D_sort`
+  compare-exchange schedule runs with every compare-exchange replaced by a
+  *merge-split*: partners exchange whole blocks, the "min" side keeps the
+  B smallest of the 2B keys, the "max" side the B largest.  Replacing the
+  comparators of any sorting network by merge-splits on sorted blocks
+  sorts the blocked sequence (Knuth, TAOCP 5.3.4), so correctness is
+  inherited from Algorithm 3; communication steps are unchanged while each
+  message now carries B keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dual_prefix import dual_prefix_vec
+from repro.core.dual_sort import (
+    ScheduleStep,
+    _dim_mode,
+    dual_sort_schedule,
+)
+from repro.core.ops import AssocOp, combine_arrays
+from repro.simulator import CostCounters
+from repro.topology.dualcube import DualCube
+from repro.topology.recursive import RecursiveDualCube
+
+__all__ = ["large_prefix", "large_prefix_engine", "large_sort"]
+
+
+def _blocked(values, num_nodes: int) -> tuple[np.ndarray, int]:
+    """Reshape a flat input into (num_nodes, B) consecutive blocks."""
+    arr = np.asarray(values)
+    if arr.ndim != 1 or len(arr) == 0 or len(arr) % num_nodes:
+        raise ValueError(
+            f"input length {arr.shape} must be a positive multiple of the "
+            f"network size {num_nodes}"
+        )
+    b = len(arr) // num_nodes
+    return arr.reshape(num_nodes, b), b
+
+
+def large_prefix(
+    dc: DualCube,
+    values,
+    op: AssocOp,
+    *,
+    counters: CostCounters | None = None,
+) -> np.ndarray:
+    """Prefix of N = B * 2^(2n-1) values on D_n; returns the full prefix array.
+
+    Global index order: node block k (input order) covers indices
+    ``[kB, (k+1)B)``.  Communication cost equals plain `D_prefix`.
+    """
+    blocks, b = _blocked(values, dc.num_nodes)
+
+    # Local inclusive prefix inside each block (vector over nodes, loop
+    # over the block — B local rounds).
+    local = blocks.copy()
+    if local.dtype == object:
+        local = local.astype(object)
+    for k in range(1, b):
+        local[:, k] = combine_arrays(op, local[:, k - 1], local[:, k])
+    if counters is not None and b > 1:
+        counters.record_comp_step(ops_each=b - 1)
+
+    totals = local[:, -1]
+    offsets = dual_prefix_vec(
+        dc, totals, op, inclusive=False, counters=counters
+    )
+
+    out = np.empty_like(local)
+    for k in range(b):
+        out[:, k] = combine_arrays(op, offsets, local[:, k])
+    if counters is not None:
+        counters.record_comp_step(ops_each=b)
+    return out.reshape(-1)
+
+
+def large_prefix_engine(
+    dc: DualCube,
+    values,
+    op: AssocOp,
+):
+    """Cycle-accurate blocked prefix: the N = P schedule with local work.
+
+    Node ``u`` holds the consecutive block at arranged position
+    ``arranged_index(u)``; each node computes its local prefix, the
+    network runs the diminished `D_prefix` on block totals (2n steps,
+    single-total messages), and the offset folds into every local value.
+    Returns ``(prefix_array, EngineResult)`` with the prefix in global
+    index order.
+    """
+    from repro.core.arrangement import arranged_index
+    from repro.core.dual_prefix import _dual_prefix_node_program
+    from repro.simulator import run_spmd
+
+    blocks, b = _blocked(values, dc.num_nodes)
+
+    def program(ctx):
+        u = ctx.rank
+        block = list(blocks[arranged_index(dc, u)])
+        for k in range(1, b):
+            block[k] = op(block[k - 1], block[k])
+        if b > 1:
+            ctx.compute(b - 1)
+        # The network phase runs on the *held* totals directly; passing
+        # inclusive=False yields the composition of all earlier blocks.
+        offset = yield from _dual_prefix_node_program(
+            ctx, dc, block[-1], op, paper_literal=False, inclusive=False
+        )
+        ctx.compute(b)
+        return [op(offset, x) for x in block]
+
+    result = run_spmd(dc, program)
+    out = np.empty(dc.num_nodes * b, dtype=object)
+    for u in dc.nodes():
+        g = arranged_index(dc, u)
+        out[g * b : (g + 1) * b] = result.returns[u]
+    return out, result
+
+
+def _count_block_step(
+    counters: CostCounters,
+    topo: RecursiveDualCube,
+    step: ScheduleStep,
+    n: int,
+    b: int,
+    payload_policy: str,
+) -> None:
+    """Cycle/message accounting for one merge-split round with B-key blocks."""
+    if _dim_mode(topo, step.dim) == "direct":
+        counters.record_comm_step(messages=n, payload_items=n * b, max_payload=b)
+        counters.record_comp_step(ops_each=2 * b)
+        return
+    half = n // 2
+    counters.record_comm_step(messages=half, payload_items=half * b, max_payload=b)
+    if payload_policy == "packed":
+        counters.record_comm_step(
+            messages=half, payload_items=2 * half * b, max_payload=2 * b
+        )
+    else:
+        counters.record_comm_step(
+            messages=half, payload_items=half * b, max_payload=b
+        )
+    counters.record_comm_step(messages=half, payload_items=half * b, max_payload=b)
+    if payload_policy == "single":
+        counters.record_comm_step(
+            messages=half, payload_items=half * b, max_payload=b
+        )
+    counters.record_comp_step(ops_each=2 * b)
+
+
+def large_sort(
+    rdc: RecursiveDualCube,
+    keys,
+    *,
+    descending: bool = False,
+    payload_policy: str = "packed",
+    counters: CostCounters | None = None,
+) -> np.ndarray:
+    """Sort N = B * 2^(2n-1) numeric keys on D_n; returns the sorted array.
+
+    Keys are indexed by (recursive node address, block offset); the output
+    is the globally sorted flat sequence in that same blocked order.
+    """
+    if payload_policy not in ("packed", "single"):
+        raise ValueError(
+            f"payload_policy must be 'packed' or 'single', got {payload_policy!r}"
+        )
+    blocks, b = _blocked(keys, rdc.num_nodes)
+    if blocks.dtype == object:
+        raise TypeError("large_sort supports numeric keys only")
+    arr = np.sort(blocks, axis=1)
+    if counters is not None:
+        # Local sort: ~B log2 B comparisons per node, one local round.
+        counters.record_comp_step(ops_each=max(1, b * max(1, b.bit_length() - 1)))
+
+    idx = np.arange(rdc.num_nodes, dtype=np.int64)
+    for step in dual_sort_schedule(rdc.n, descending=descending):
+        partner = idx ^ (1 << step.dim)
+        pk = arr[partner]
+        keep_min = ((idx >> step.dim) & 1 == 0) != step.descending_mask(idx)
+        merged = np.sort(np.concatenate([arr, pk], axis=1), axis=1)
+        arr = np.where(keep_min[:, None], merged[:, :b], merged[:, b:])
+        if counters is not None:
+            _count_block_step(counters, rdc, step, rdc.num_nodes, b, payload_policy)
+    if descending:
+        # Merge-split keeps blocks internally ascending; a descending global
+        # order needs each block flattened high-to-low (local, no messages).
+        arr = arr[:, ::-1]
+    return arr.reshape(-1)

@@ -1,0 +1,60 @@
+"""Sequential oracles and checkers used by tests, examples, and benches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ops import AssocOp
+
+__all__ = [
+    "sequential_prefix",
+    "check_prefix",
+    "check_sorted",
+    "is_permutation_of",
+]
+
+
+def sequential_prefix(values, op: AssocOp, *, inclusive: bool = True) -> list:
+    """The ground-truth prefix sequence computed serially."""
+    out = []
+    acc = op.identity
+    for v in values:
+        if inclusive:
+            acc = op.fn(acc, v)
+            out.append(acc)
+        else:
+            out.append(acc)
+            acc = op.fn(acc, v)
+    return out
+
+
+def check_prefix(values, result, op: AssocOp, *, inclusive: bool = True) -> None:
+    """Raise ``AssertionError`` unless ``result`` is the prefix of ``values``."""
+    expected = sequential_prefix(values, op, inclusive=inclusive)
+    got = list(result)
+    if len(got) != len(expected):
+        raise AssertionError(
+            f"prefix length mismatch: expected {len(expected)}, got {len(got)}"
+        )
+    for k, (e, g) in enumerate(zip(expected, got)):
+        if e != g:
+            raise AssertionError(
+                f"prefix mismatch at index {k}: expected {e!r}, got {g!r}"
+            )
+
+
+def check_sorted(seq: Sequence, *, descending: bool = False) -> None:
+    """Raise ``AssertionError`` unless ``seq`` is monotone."""
+    items = list(seq)
+    for k in range(len(items) - 1):
+        a, b = items[k], items[k + 1]
+        if (not descending and a > b) or (descending and a < b):
+            raise AssertionError(
+                f"order violated at index {k}: {a!r} then {b!r} "
+                f"({'descending' if descending else 'ascending'})"
+            )
+
+
+def is_permutation_of(a: Sequence, b: Sequence) -> bool:
+    """Whether ``a`` is a rearrangement of ``b`` (multiset equality)."""
+    return sorted(a) == sorted(b)

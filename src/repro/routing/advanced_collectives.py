@@ -1,0 +1,284 @@
+"""Personalized collectives in the dual-cube: scatter, gather, allgather.
+
+The paper cites the authors' companion work "Efficient collective
+communications in dual-cube"; these are the cluster-technique versions,
+all finishing in **2n communication steps** (the diameter):
+
+* **scatter** — the root distributes one distinct item per node:
+  binomial scatter inside the root's cluster (each carrier j receives the
+  bundle for the other-class cluster it seeds: that cluster's members
+  plus their cross partners, 2·2^(n-1) items), one cross step seeding
+  every cluster of the other class, binomial scatter inside those
+  clusters, one cross step delivering the root-class items.
+* **gather** — the exact reverse schedule.
+* **allgather** — recursive doubling on the `D_prefix` schedule with
+  :class:`Packed` messages whose payload doubles each round; every node
+  ends with all V items in arranged (global index) order.
+
+Message *sizes* vary by round (that is the point of personalized
+collectives); the engine's payload counters record true item counts, and
+benchmark F2 checks total traffic against the closed forms.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.arrangement import arranged_index
+from repro.simulator import Idle, Packed, Recv, Send, SendRecv, run_spmd
+from repro.topology.dualcube import DualCube
+
+__all__ = [
+    "scatter_engine",
+    "gather_engine",
+    "allgather_engine",
+    "collective_steps",
+]
+
+
+def collective_steps(n: int) -> int:
+    """Closed-form steps for scatter/gather/allgather on D_n: 2n."""
+    return 2 * n
+
+
+def _check_length(dc: DualCube, values) -> list:
+    vals = list(values)
+    if len(vals) != dc.num_nodes:
+        raise ValueError(
+            f"expected {dc.num_nodes} values for {dc.name}, got {len(vals)}"
+        )
+    return vals
+
+
+def _scatter_phase(ctx, dc: DualCube, rel: int, bundle: dict):
+    """Binomial scatter inside a cluster, dims high-to-low (n-1 steps).
+
+    ``bundle`` keys are ``(carrier_rel, destination)`` pairs so payload
+    counters see true item counts; subtree splits use the rel component.
+    Only relative node 0 enters with a non-empty bundle; every node exits
+    holding exactly the items whose carrier_rel equals its own ``rel``.
+    """
+    m = dc.cluster_dim
+    u = ctx.rank
+    for i in range(m - 1, -1, -1):
+        partner = u ^ (1 << dc.local_to_global_dim(u, i))
+        if rel % (1 << (i + 1)) == 0:
+            send = {k: v for k, v in bundle.items() if (k[0] >> i) & 1}
+            bundle = {k: v for k, v in bundle.items() if not (k[0] >> i) & 1}
+            yield Send(partner, Packed(tuple(sorted(send.items()))))
+        elif rel & ((1 << (i + 1)) - 1) == (1 << i):
+            got = yield Recv(partner)
+            bundle = dict(got.items)
+        else:
+            yield Idle()
+    return bundle
+
+
+def _gather_phase(ctx, dc: DualCube, rel: int, bundle: dict):
+    """Binomial gather inside a cluster, dims low-to-high (reverse scatter).
+
+    Plain ``{destination: value}`` dicts merge upward; relative node 0
+    exits with the union.
+    """
+    m = dc.cluster_dim
+    u = ctx.rank
+    for i in range(m):
+        partner = u ^ (1 << dc.local_to_global_dim(u, i))
+        if rel & ((1 << (i + 1)) - 1) == (1 << i):
+            yield Send(partner, Packed(tuple(sorted(bundle.items()))))
+            bundle = {}
+        elif rel % (1 << (i + 1)) == 0 and rel + (1 << i) < (1 << m):
+            got = yield Recv(partner)
+            bundle.update(dict(got.items))
+        else:
+            yield Idle()
+    return bundle
+
+
+def _seed_bundle(dc: DualCube, carrier: int, vals) -> dict[int, Any]:
+    """Items carrier must deliver: every member of the cluster seeded by
+    its cross partner, plus each member's cross partner (the carrier's own
+    item rides along as one of those cross partners)."""
+    seed = dc.cross_partner(carrier)
+    out: dict[int, Any] = {}
+    for w in dc.cluster_members(dc.class_of(seed), dc.cluster_id(seed)):
+        out[w] = vals[w]
+        out[dc.cross_partner(w)] = vals[dc.cross_partner(w)]
+    return out
+
+
+def scatter_engine(dc: DualCube, root: int, items):
+    """Scatter ``items[u]`` (indexed by node address) from ``root``.
+
+    Returns ``(received, result)``: ``received[u]`` is node ``u``'s item.
+    Exactly 2n communication steps.
+    """
+    dc.check_node(root)
+    vals = _check_length(dc, items)
+    root_cls = dc.class_of(root)
+    root_cluster = dc.cluster_id(root)
+    root_nid = dc.node_id(root)
+
+    def program(ctx):
+        u = ctx.rank
+        cls = dc.class_of(u)
+        nid = dc.node_id(u)
+        cross = dc.cross_partner(u)
+        in_root_cluster = dc.cluster_key(u) == (root_cls, root_cluster)
+
+        # Phase 1: distribute per-carrier bundles inside the root cluster.
+        if in_root_cluster:
+            rel = nid ^ root_nid
+            top: dict = {}
+            if u == root:
+                for c in dc.cluster_members(root_cls, root_cluster):
+                    c_rel = dc.node_id(c) ^ root_nid
+                    for w, item in _seed_bundle(dc, c, vals).items():
+                        top[(c_rel, w)] = item
+            sub = yield from _scatter_phase(ctx, dc, rel, top)
+            bundle = {w: item for (_r, w), item in sub.items()}
+        else:
+            for _ in range(dc.cluster_dim):
+                yield Idle()
+            bundle = {}
+
+        # Phase 2: carriers seed the other class over cross-edges.
+        if in_root_cluster:
+            yield Send(cross, Packed(tuple(sorted(bundle.items()))))
+            bundle = {}
+        elif dc.cluster_key(cross) == (root_cls, root_cluster):
+            got = yield Recv(cross)
+            bundle = dict(got.items)
+        else:
+            yield Idle()
+
+        # Phase 3: scatter member-pairs inside every seeded cluster.
+        if cls != root_cls:
+            rel = nid ^ root_cluster
+            top = {}
+            if bundle:
+                for w in dc.cluster_members(cls, dc.cluster_id(u)):
+                    w_rel = dc.node_id(w) ^ root_cluster
+                    top[(w_rel, w)] = bundle[w]
+                    top[(w_rel, dc.cross_partner(w))] = bundle[dc.cross_partner(w)]
+            sub = yield from _scatter_phase(ctx, dc, rel, top)
+            mine = {w: item for (_r, w), item in sub.items()}
+        else:
+            for _ in range(dc.cluster_dim):
+                yield Idle()
+            mine = {}
+
+        # Phase 4: deliver the root-class items over cross-edges.
+        if cls != root_cls:
+            yield Send(cross, mine.get(cross))
+            return mine.get(u)
+        got = yield Recv(cross)
+        return got
+
+    result = run_spmd(dc, program)
+    return list(result.returns), result
+
+
+def gather_engine(dc: DualCube, root: int, values):
+    """Gather every node's value to ``root`` (reverse-scatter schedule).
+
+    Returns ``(collected, result)``: ``collected[u]`` is node ``u``'s
+    value as assembled at the root.  Exactly 2n communication steps.
+    """
+    dc.check_node(root)
+    vals = _check_length(dc, values)
+    root_cls = dc.class_of(root)
+    root_cluster = dc.cluster_id(root)
+    root_nid = dc.node_id(root)
+
+    def program(ctx):
+        u = ctx.rank
+        cls = dc.class_of(u)
+        nid = dc.node_id(u)
+        cross = dc.cross_partner(u)
+        in_root_cluster = dc.cluster_key(u) == (root_cls, root_cluster)
+        bundle = {u: vals[u]}
+
+        # Phase 1: root-class nodes push their values across.
+        if cls == root_cls:
+            yield Send(cross, bundle.pop(u))
+        else:
+            got = yield Recv(cross)
+            bundle[cross] = got
+
+        # Phase 2: gather inside every other-class cluster to its seed
+        # (the member whose cross partner lies in the root cluster).
+        if cls != root_cls:
+            rel = nid ^ root_cluster
+            bundle = yield from _gather_phase(ctx, dc, rel, bundle)
+        else:
+            for _ in range(dc.cluster_dim):
+                yield Idle()
+
+        # Phase 3: seeds push cluster bundles to the root-cluster carriers.
+        if cls != root_cls:
+            if nid == root_cluster:
+                yield Send(cross, Packed(tuple(sorted(bundle.items()))))
+                bundle = {}
+            else:
+                yield Idle()
+        elif in_root_cluster:
+            got = yield Recv(cross)
+            bundle.update(dict(got.items))
+        else:
+            yield Idle()
+
+        # Phase 4: gather inside the root cluster to the root.
+        if in_root_cluster:
+            rel = nid ^ root_nid
+            bundle = yield from _gather_phase(ctx, dc, rel, bundle)
+        else:
+            for _ in range(dc.cluster_dim):
+                yield Idle()
+        return bundle if u == root else None
+
+    result = run_spmd(dc, program)
+    collected = result.returns[root]
+    return [collected[u] for u in dc.nodes()], result
+
+
+def allgather_engine(dc: DualCube, values):
+    """Allgather: every node ends with all values in arranged order.
+
+    Recursive doubling on the `D_prefix` schedule — cluster doubling, a
+    cross exchange, doubling of the received half, a final cross exchange
+    — 2n steps with payload doubling per round.  Returns ``(lists,
+    result)`` where every entry of ``lists`` is the same V-item list.
+    """
+    vals = _check_length(dc, values)
+
+    def program(ctx):
+        u = ctx.rank
+        m = dc.cluster_dim
+        cross = dc.cross_partner(u)
+        items = ((arranged_index(dc, u), vals[u]),)
+
+        for i in range(m):
+            partner = u ^ (1 << dc.local_to_global_dim(u, i))
+            got = yield SendRecv(partner, Packed(items))
+            ctx.compute(1)
+            items = tuple(sorted(items + got.items))
+
+        got = yield SendRecv(cross, Packed(items))
+        other = got.items
+        ctx.compute(1)
+
+        for i in range(m):
+            partner = u ^ (1 << dc.local_to_global_dim(u, i))
+            got = yield SendRecv(partner, Packed(other))
+            ctx.compute(1)
+            other = tuple(sorted(other + got.items))
+
+        got = yield SendRecv(cross, Packed(other))
+        ctx.compute(1)
+        items = tuple(sorted(items + got.items))
+        full = tuple(sorted(set(items) | set(other)))
+        return [v for _k, v in full]
+
+    result = run_spmd(dc, program)
+    return list(result.returns), result

@@ -1,0 +1,113 @@
+"""One-to-all broadcast in the dual-cube.
+
+Cluster-technique broadcast finishing in exactly 2n communication steps
+(matching the diameter, hence optimal to within the model):
+
+1. binomial broadcast inside the source's cluster        (n-1 steps);
+2. every node of that cluster crosses — one seed lands in *every*
+   cluster of the other class                             (1 step);
+3. binomial broadcast inside every seeded cluster         (n-1 steps);
+4. every node of the seeded class crosses — every node of the source's
+   class is someone's cross partner                       (1 step).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simulator import Idle, Recv, Send, TraceRecorder, run_spmd
+from repro.topology.dualcube import DualCube
+
+__all__ = ["broadcast_engine", "broadcast_steps"]
+
+
+def broadcast_steps(n: int) -> int:
+    """Closed-form communication steps of the broadcast: 2n."""
+    return 2 * n
+
+
+def _binomial_phase(ctx, dc: DualCube, rel: int, have: bool, value):
+    """One in-cluster binomial broadcast (n-1 lockstep rounds).
+
+    ``rel`` is the node's ID relative to the cluster-local source (the
+    node seeded before this phase); holders double each round along
+    successive local dimensions.  Returns the (possibly received) value.
+    """
+    m = dc.cluster_dim
+    u = ctx.rank
+    for i in range(m):
+        partner = u ^ (1 << dc.local_to_global_dim(u, i))
+        if have and rel < (1 << i):
+            yield Send(partner, value)
+        elif not have and rel < (1 << (i + 1)) and rel >= (1 << i):
+            value = yield Recv(partner)
+            have = True
+        else:
+            yield Idle()
+    return value
+
+
+def broadcast_engine(
+    dc: DualCube,
+    source: int,
+    value: Any,
+    *,
+    trace: TraceRecorder | None = None,
+):
+    """Run the broadcast on the cycle-accurate engine.
+
+    Returns ``(received, result)`` where ``received[u]`` is the value at
+    node ``u`` (identical everywhere) and ``result`` carries the counters
+    (``comm_steps == 2n``).
+    """
+    dc.check_node(source)
+    src_cls = dc.class_of(source)
+    src_cluster = dc.cluster_id(source)
+    src_nid = dc.node_id(source)
+
+    def program(ctx):
+        u = ctx.rank
+        cls = dc.class_of(u)
+        in_src_cluster = dc.cluster_key(u) == (src_cls, src_cluster)
+        val = value if u == source else None
+
+        # Phase 1: binomial broadcast inside the source cluster.
+        if in_src_cluster:
+            rel = dc.node_id(u) ^ src_nid
+            val = yield from _binomial_phase(ctx, dc, rel, u == source, val)
+        else:
+            for _ in range(dc.cluster_dim):
+                yield Idle()
+
+        # Phase 2: the source cluster seeds every cluster of the other class.
+        cross = dc.cross_partner(u)
+        seeded = False
+        if in_src_cluster:
+            yield Send(cross, val)
+        elif dc.cluster_key(cross) == (src_cls, src_cluster):
+            val = yield Recv(cross)
+            seeded = True
+        else:
+            yield Idle()
+
+        # Phase 3: binomial broadcast inside every cluster of the other class.
+        if cls != src_cls:
+            # The seed of this cluster is the node whose cross partner has
+            # the source's node ID; relative ID is node ID xor that seed ID.
+            rel = dc.node_id(u) ^ src_cluster
+            val = yield from _binomial_phase(ctx, dc, rel, seeded, val)
+        else:
+            for _ in range(dc.cluster_dim):
+                yield Idle()
+
+        # Phase 4: the other class covers the source's class.
+        if cls != src_cls:
+            yield Send(cross, val)
+        else:
+            got = yield Recv(cross)
+            if val is None:
+                val = got
+        return val
+
+    result = run_spmd(dc, program, trace=trace)
+    return list(result.returns), result

@@ -1,0 +1,126 @@
+"""Reduction collectives in the dual-cube.
+
+``allreduce`` uses the same cluster-then-cross technique as `D_prefix`
+(and the companion collective-communication paper the authors cite):
+cluster-wide allreduce, cross exchange of cluster totals, cluster-wide
+allreduce of those totals (yielding the *other* half's total everywhere),
+one more cross exchange, and a local combine — 2n communication steps.
+
+``reduce`` returns the total at a chosen root by running the allreduce
+schedule (the dedicated tree reduce would have the same step count in
+this model; see the docstring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cube_prefix import cube_prefix_program
+from repro.core.ops import AssocOp, combine_arrays
+from repro.simulator import CostCounters, SendRecv, run_spmd
+from repro.topology.dualcube import DualCube
+
+__all__ = ["allreduce_engine", "allreduce_vec", "reduce_engine"]
+
+
+def _allreduce_program(ctx, dc: DualCube, value, op: AssocOp):
+    """Per-node allreduce (returns the network-wide total)."""
+    u = ctx.rank
+    m = dc.cluster_dim
+    nid = dc.node_id(u)
+    gdims = [dc.local_to_global_dim(u, i) for i in range(m)]
+    cross = dc.cross_partner(u)
+
+    # Cluster total (the ascend rounds; the prefix output is unused).
+    t, _ = yield from cube_prefix_program(
+        ctx, value, op, inclusive=True, q=m, local_rank=nid, global_dims=gdims
+    )
+    # My cluster total for the other class's books; theirs for mine.
+    temp = yield SendRecv(cross, t)
+    # Other-half total: cluster-wide combine of the received block totals.
+    t2, _ = yield from cube_prefix_program(
+        ctx, temp, op, inclusive=True, q=m, local_rank=nid, global_dims=gdims
+    )
+    # t2 is the total of the *other* class's half; my own half's total
+    # lives at my cross partner.
+    own_half = yield SendRecv(cross, t2)
+    ctx.compute(1)
+    if dc.class_of(u) == 0:
+        return op(own_half, t2)
+    return op(t2, own_half)
+
+
+def allreduce_engine(dc: DualCube, values, op: AssocOp):
+    """Cycle-accurate allreduce; returns ``(totals, result)``.
+
+    ``totals[u]`` is the op-reduction of all inputs in *arranged* (global
+    index) order — identical at every node.  ``result.comm_steps == 2n``.
+    """
+    vals = list(values)
+    if len(vals) != dc.num_nodes:
+        raise ValueError(
+            f"expected {dc.num_nodes} values for {dc.name}, got {len(vals)}"
+        )
+
+    def program(ctx):
+        total = yield from _allreduce_program(ctx, dc, vals[ctx.rank], op)
+        return total
+
+    result = run_spmd(dc, program)
+    return list(result.returns), result
+
+
+def allreduce_vec(
+    dc: DualCube,
+    values,
+    op: AssocOp,
+    *,
+    counters: CostCounters | None = None,
+) -> np.ndarray:
+    """Vectorized allreduce; returns the per-node totals array."""
+    from repro.core.cube_prefix import ascend_rounds_vec
+
+    vals = np.asarray(values)
+    if vals.shape != (dc.num_nodes,):
+        raise ValueError(
+            f"expected {dc.num_nodes} values for {dc.name}, got shape {vals.shape}"
+        )
+    m = dc.cluster_dim
+    idx = dc.all_nodes_array()
+    cls1 = dc.class_of_v(idx) == 1
+    nid = dc.node_id_v(idx)
+    cross = idx ^ (1 << dc.class_dimension)
+    step = np.where(cls1, 1 << m, 1).astype(np.int64)
+
+    def partner(i):
+        return idx ^ (step << i)
+
+    def upper(i):
+        return (nid >> i) & 1 == 1
+
+    t = vals.copy()
+    t, _ = ascend_rounds_vec(t, t.copy(), m, partner, upper, op, counters)
+    temp = t[cross]
+    if counters is not None:
+        counters.record_comm_step(messages=dc.num_nodes)
+    t2 = temp.copy()
+    t2, _ = ascend_rounds_vec(t2, t2.copy(), m, partner, upper, op, counters)
+    own_half = t2[cross]
+    if counters is not None:
+        counters.record_comm_step(messages=dc.num_nodes)
+        counters.record_comp_step(ops_each=1)
+    first_then_second = combine_arrays(op, own_half, t2)
+    second_after_first = combine_arrays(op, t2, own_half)
+    return np.where(cls1, second_after_first, first_then_second)
+
+
+def reduce_engine(dc: DualCube, values, op: AssocOp, root: int):
+    """Reduction to ``root`` (allreduce schedule; every node learns the total).
+
+    In the synchronous 1-port model a dedicated binomial-tree reduce takes
+    the same 2n steps as allreduce, so the library reuses the allreduce
+    program and reports the root's value.
+    """
+    dc.check_node(root)
+    totals, result = allreduce_engine(dc, values, op)
+    return totals[root], result

@@ -1,0 +1,149 @@
+"""Fault-tolerant routing in the dual-cube.
+
+Two routers over a :class:`~repro.topology.faults.FaultyTopology`:
+
+* :func:`ft_route` — global-information shortest path (BFS on the healthy
+  subgraph); the ground truth other strategies are scored against.
+* :func:`adaptive_route` — local-information greedy routing in the spirit
+  of the limited-global-information dual-cube literature: at each hop the
+  message moves to the healthy neighbor closest to the target (by the
+  fault-free closed-form distance), with backtracking when boxed in.
+
+Plus :func:`node_disjoint_paths` — D_n is n-connected, so Menger gives n
+internally node-disjoint paths between any two nodes; computed by max-flow
+and verified in the tests/benchmarks (experiment F1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+
+from repro.topology.dualcube import DualCube
+from repro.topology.faults import FaultSet, FaultyTopology
+from repro.topology.nx_adapter import to_networkx
+from repro.topology.base import Topology
+
+__all__ = [
+    "ft_route",
+    "adaptive_route",
+    "node_disjoint_paths",
+    "node_connectivity",
+    "broadcast_depth",
+]
+
+
+def ft_route(ftopo: FaultyTopology, u: int, v: int) -> list[int] | None:
+    """Shortest healthy path ``u -> v`` by BFS, or ``None`` if disconnected.
+
+    Requires both endpoints healthy.
+    """
+    ftopo.check_node(u)
+    ftopo.check_node(v)
+    if not (ftopo.faults.node_ok(u) and ftopo.faults.node_ok(v)):
+        raise ValueError("both endpoints must be healthy")
+    if u == v:
+        return [u]
+    prev = {u: u}
+    queue = deque([u])
+    while queue:
+        w = queue.popleft()
+        for x in ftopo.neighbors(w):
+            if x not in prev:
+                prev[x] = w
+                if x == v:
+                    path = [v]
+                    while path[-1] != u:
+                        path.append(prev[path[-1]])
+                    return path[::-1]
+                queue.append(x)
+    return None
+
+
+def adaptive_route(
+    ftopo: FaultyTopology,
+    dc: DualCube,
+    u: int,
+    v: int,
+    *,
+    max_hops: int | None = None,
+) -> list[int] | None:
+    """Greedy local-information routing with backtracking.
+
+    At each hop the current node only knows its own healthy links and the
+    fault-free distance metric; it forwards to the unvisited healthy
+    neighbor minimizing ``dc.distance(., v)`` and backtracks when stuck.
+    Guaranteed to terminate; returns the walk (which may backtrack, so it
+    can be longer than the BFS path) or ``None`` on failure.
+    """
+    ftopo.check_node(u)
+    ftopo.check_node(v)
+    if not (ftopo.faults.node_ok(u) and ftopo.faults.node_ok(v)):
+        raise ValueError("both endpoints must be healthy")
+    if max_hops is None:
+        max_hops = 4 * dc.diameter() + 4 * ftopo.faults.num_faults + 8
+    walk = [u]
+    visited = {u}
+    stack = [u]
+    hops = 0
+    while stack and hops < max_hops:
+        cur = stack[-1]
+        if cur == v:
+            return walk
+        candidates = [
+            w for w in ftopo.neighbors(cur) if w not in visited
+        ]
+        if candidates:
+            nxt = min(candidates, key=lambda w: (dc.distance(w, v), w))
+            visited.add(nxt)
+            stack.append(nxt)
+            walk.append(nxt)
+        else:
+            stack.pop()
+            if stack:
+                walk.append(stack[-1])
+        hops += 1
+    if stack and stack[-1] == v:
+        return walk
+    return None
+
+
+def node_disjoint_paths(topo: Topology, u: int, v: int) -> list[list[int]]:
+    """A maximum set of internally node-disjoint ``u -> v`` paths (max-flow)."""
+    topo.check_node(u)
+    topo.check_node(v)
+    if u == v:
+        raise ValueError("endpoints must differ")
+    g = to_networkx(topo)
+    return [list(p) for p in nx.node_disjoint_paths(g, u, v)]
+
+
+def node_connectivity(topo: Topology) -> int:
+    """Exact node connectivity of the topology (networkx max-flow)."""
+    return nx.node_connectivity(to_networkx(topo))
+
+
+def broadcast_depth(ftopo: FaultyTopology, source: int) -> int | None:
+    """Rounds an optimal broadcast needs from ``source`` on the healthy graph.
+
+    Lower-bounded by the source's eccentricity in the surviving subgraph
+    (returned here); ``None`` when some healthy node is unreachable.
+    Quantifies latency degradation under faults (experiment F3) — on the
+    intact D_n this equals at most the diameter 2n.
+    """
+    ftopo.check_node(source)
+    if not ftopo.faults.node_ok(source):
+        raise ValueError("source must be healthy")
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in ftopo.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                frontier.append(v)
+    healthy = set(ftopo.healthy_nodes())
+    if set(dist) != healthy:
+        return None
+    return max(dist.values())

@@ -1,0 +1,77 @@
+"""Ring allreduce over the Hamiltonian embedding.
+
+The dilation-1 ring embedding (:func:`repro.topology.hamiltonian.
+hamiltonian_cycle`) lets the classic bandwidth-optimal ring allreduce run
+on the dual-cube with every hop a real link.  For a vector of V chunks on
+V nodes:
+
+* **reduce-scatter** — V-1 steps; step t: every node sends one partially
+  reduced chunk to its ring successor and folds the chunk it receives;
+* **allgather** — V-1 steps circulating the finished chunks.
+
+Total 2(V-1) steps with 1-chunk messages: each node moves 2(V-1) chunks,
+versus the tree allreduce's 2n steps moving the full V-chunk vector each
+step (2nV chunks per node).  Experiment E14 regenerates the latency/
+bandwidth crossover.
+"""
+
+from __future__ import annotations
+
+from repro.core.ops import AssocOp
+from repro.simulator import Shift, run_spmd
+from repro.topology.hamiltonian import hamiltonian_cycle
+from repro.topology.recursive import RecursiveDualCube
+
+__all__ = ["ring_allreduce_engine", "ring_allreduce_steps"]
+
+
+def ring_allreduce_steps(num_nodes: int) -> int:
+    """Closed-form steps: 2(V-1)."""
+    return 2 * (num_nodes - 1)
+
+
+def ring_allreduce_engine(
+    rdc: RecursiveDualCube,
+    vectors,
+    op: AssocOp,
+):
+    """Allreduce of per-node vectors (length V each) over the ring.
+
+    ``vectors[u]`` is node ``u``'s length-V contribution; every node ends
+    with the elementwise op-reduction across nodes, reduced in ring order
+    (use a commutative op unless that order is intended).  Returns
+    ``(results, EngineResult)``.
+    """
+    v = rdc.num_nodes
+    vecs = [list(x) for x in vectors]
+    if len(vecs) != v or any(len(x) != v for x in vecs):
+        raise ValueError(
+            f"expected {v} vectors of length {v} for {rdc.name}"
+        )
+    cycle = hamiltonian_cycle(rdc.n)
+    pos_of = {node: k for k, node in enumerate(cycle)}
+    succ = {cycle[k]: cycle[(k + 1) % v] for k in range(v)}
+    pred = {cycle[k]: cycle[(k - 1) % v] for k in range(v)}
+
+    def program(ctx):
+        u = ctx.rank
+        pos = pos_of[u]
+        chunks = list(vecs[u])
+        # Reduce-scatter: after step t, node holds the reduction over
+        # t+1 ring predecessors for chunk (pos - t) mod V.
+        for t in range(v - 1):
+            send_idx = (pos - t) % v
+            recv_idx = (pos - t - 1) % v
+            got = yield Shift(succ[u], chunks[send_idx], pred[u])
+            ctx.compute(1)
+            chunks[recv_idx] = op(got, chunks[recv_idx])
+        # Allgather: circulate finished chunks.
+        for t in range(v - 1):
+            send_idx = (pos + 1 - t) % v
+            recv_idx = (pos - t) % v
+            got = yield Shift(succ[u], chunks[send_idx], pred[u])
+            chunks[recv_idx] = got
+        return chunks
+
+    result = run_spmd(rdc, program)
+    return list(result.returns), result

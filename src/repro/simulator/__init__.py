@@ -1,0 +1,50 @@
+"""Synchronous message-passing network simulator.
+
+This package is the substitute for the paper's abstract machine: a
+synchronous multicomputer whose nodes are connected by bidirectional
+channels under the 1-port model (each node sends at most one and receives
+at most one message per clock cycle).  Theorems 1 and 2 are statements
+about step counts under exactly this model, so the simulator enforces it
+and the benchmark harness reads its counters.
+
+Programming model (mpi4py-flavoured SPMD): every node runs the same
+*program*, a Python generator instantiated per rank, which yields
+communication requests — :class:`Send`, :class:`Recv`, :class:`SendRecv`,
+:class:`Idle` — and receives delivered payloads back at the yield point.
+The :class:`Engine` advances all programs in lockstep, one request per
+clock cycle, verifying that every message travels along an existing link
+and that no node exceeds its port budget.
+"""
+
+from repro.simulator.errors import (
+    SimulationError,
+    DeadlockError,
+    LinkError,
+    ProgramError,
+)
+from repro.simulator.requests import Send, Recv, SendRecv, Shift, Idle
+from repro.simulator.counters import CostCounters, Packed
+from repro.simulator.message import Message
+from repro.simulator.node import NodeCtx
+from repro.simulator.trace import TraceRecorder
+from repro.simulator.engine import Engine, EngineResult, run_spmd
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "LinkError",
+    "ProgramError",
+    "Send",
+    "Recv",
+    "SendRecv",
+    "Shift",
+    "Idle",
+    "CostCounters",
+    "Packed",
+    "Message",
+    "NodeCtx",
+    "TraceRecorder",
+    "Engine",
+    "EngineResult",
+    "run_spmd",
+]

@@ -1,0 +1,280 @@
+"""The synchronous lockstep engine.
+
+Semantics
+---------
+All node programs advance together in clock cycles.  Each program has at
+most one outstanding request.  Per cycle the engine:
+
+1. takes a snapshot of all outstanding requests;
+2. completes every :class:`Idle`;
+3. computes the greatest fixed point of "all my legs face a completing
+   counterpart" over the snapshot: ``Send(dst) <-> Recv(src)`` pairs,
+   ``SendRecv(peer) <-> SendRecv(peer)`` pairs, and :class:`Shift` chains
+   (whose send and receive legs may face different neighbors — a whole
+   ring of shifts resolves simultaneously).  A request never reacts to
+   one issued later in the same cycle, which is what makes the cycle
+   count equal the paper's synchronous step count;
+4. delivers the surviving payloads, then resumes exactly the completed
+   programs.
+
+The 1-port constraint (<= 1 send and <= 1 receive per node per cycle) holds
+by construction — one request per node — and link existence is checked when
+a request is issued.  A cycle in which nothing completes while requests are
+pending raises :class:`DeadlockError`; asymmetric pairs (``Send`` facing
+``Send``, ``SendRecv`` facing bare ``Recv``) deadlock deliberately, since
+every algorithm in the paper is lockstep-symmetric and such a mismatch is a
+program bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.simulator.counters import CostCounters
+from repro.simulator.errors import (
+    DeadlockError,
+    LinkError,
+    ProgramError,
+)
+from repro.simulator.message import Message
+from repro.simulator.node import NodeCtx
+from repro.simulator.requests import Idle, Recv, Request, Send, SendRecv, Shift
+from repro.simulator.trace import TraceRecorder
+from repro.topology.base import Topology
+
+__all__ = ["Engine", "EngineResult", "run_spmd"]
+
+Program = Callable[[NodeCtx], Generator[Request, Any, Any]]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one SPMD run."""
+
+    returns: list
+    counters: CostCounters
+    trace: TraceRecorder | None
+    message_log: list[Message] | None
+
+    @property
+    def comm_steps(self) -> int:
+        """Clock cycles consumed (the paper's communication steps)."""
+        return self.counters.comm_steps
+
+    @property
+    def comp_steps(self) -> int:
+        """Parallel computation steps (longest per-node round chain)."""
+        return self.counters.comp_steps
+
+
+class Engine:
+    """Run one SPMD program on every node of a topology.
+
+    Parameters
+    ----------
+    topo:
+        The network; request endpoints are validated against its edges.
+    program:
+        Generator function ``program(ctx)``; its return value becomes the
+        rank's entry in :attr:`EngineResult.returns`.
+    trace:
+        Optional :class:`TraceRecorder` for figure snapshots.
+    log_messages:
+        Keep a full :class:`Message` log (memory-heavy; tests only).
+    max_cycles:
+        Safety valve against livelock (e.g. an all-``Idle`` spin).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        program: Program,
+        *,
+        trace: TraceRecorder | None = None,
+        log_messages: bool = False,
+        max_cycles: int = 1_000_000,
+    ):
+        self.topo = topo
+        self.program = program
+        self.trace = trace
+        self.log_messages = log_messages
+        self.max_cycles = max_cycles
+
+    def run(self) -> EngineResult:
+        """Execute to completion and return results plus cost counters."""
+        topo = self.topo
+        n = topo.num_nodes
+        counters = CostCounters(n)
+        message_log: list[Message] | None = [] if self.log_messages else None
+
+        gens: list[Generator[Request, Any, Any] | None] = [None] * n
+        pending: dict[int, Request] = {}
+        returns: list[Any] = [None] * n
+
+        def advance(rank: int, value: Any) -> None:
+            gen = gens[rank]
+            assert gen is not None
+            try:
+                req = gen.send(value)
+            except StopIteration as stop:
+                returns[rank] = stop.value
+                gens[rank] = None
+                return
+            self._validate(rank, req)
+            pending[rank] = req
+
+        for rank in range(n):
+            ctx = NodeCtx(rank, topo, counters, self.trace)
+            gen = self.program(ctx)
+            if not hasattr(gen, "send"):
+                raise ProgramError(
+                    f"program must be a generator function, got {type(gen)!r} "
+                    f"at rank {rank}"
+                )
+            gens[rank] = gen
+            advance(rank, None)
+
+        cycle = 0
+        while pending:
+            cycle += 1
+            if cycle > self.max_cycles:
+                raise DeadlockError(cycle, dict(pending))
+            snapshot = dict(pending)
+            completed: dict[int, Any] = {}
+            deliveries = 0
+
+            active: dict[int, Request] = {}
+            for rank, req in snapshot.items():
+                if isinstance(req, Idle):
+                    completed[rank] = None
+                else:
+                    active[rank] = req
+
+            # Greatest fixed point: a request completes this cycle iff all
+            # of its legs face a completing counterpart.  Start from every
+            # non-idle request and prune until stable (monotone, so this
+            # terminates); what survives completes simultaneously — which
+            # is what lets a whole ring of Shift requests resolve at once.
+            changed = True
+            while changed:
+                changed = False
+                for rank in list(active):
+                    if not self._legs_satisfied(rank, active[rank], active):
+                        del active[rank]
+                        changed = True
+
+            for rank, req in active.items():
+                # Record this node's send leg (if any).
+                if isinstance(req, Send):
+                    dst, payload = req.dst, req.payload
+                elif isinstance(req, SendRecv):
+                    dst, payload = req.peer, req.payload
+                elif isinstance(req, Shift):
+                    dst, payload = req.dst, req.payload
+                else:
+                    dst = None
+                if dst is not None:
+                    counters.record_delivery(rank, dst, payload)
+                    deliveries += 1
+                    if message_log is not None:
+                        message_log.append(Message(rank, dst, payload, cycle))
+                completed[rank] = self._incoming_payload(rank, req, active)
+
+            if not completed:
+                raise DeadlockError(cycle, dict(pending))
+            counters.record_cycle(deliveries)
+            for rank, value in completed.items():
+                del pending[rank]
+            for rank in sorted(completed):
+                advance(rank, completed[rank])
+
+        return EngineResult(
+            returns=returns,
+            counters=counters,
+            trace=self.trace,
+            message_log=message_log,
+        )
+
+    @staticmethod
+    def _legs_satisfied(rank: int, req: Request, active: dict) -> bool:
+        """Whether every communication leg of ``req`` has a live counterpart."""
+
+        def sends_to_me(src: int) -> bool:
+            other = active.get(src)
+            return (isinstance(other, Send) and other.dst == rank) or (
+                isinstance(other, Shift) and other.dst == rank
+            )
+
+        def receives_from_me(dst: int) -> bool:
+            other = active.get(dst)
+            return (isinstance(other, Recv) and other.src == rank) or (
+                isinstance(other, Shift) and other.src == rank
+            )
+
+        if isinstance(req, Send):
+            return receives_from_me(req.dst)
+        if isinstance(req, Recv):
+            return sends_to_me(req.src)
+        if isinstance(req, SendRecv):
+            other = active.get(req.peer)
+            return isinstance(other, SendRecv) and other.peer == rank
+        if isinstance(req, Shift):
+            return receives_from_me(req.dst) and sends_to_me(req.src)
+        raise AssertionError(f"unexpected request {req!r}")  # pragma: no cover
+
+    @staticmethod
+    def _incoming_payload(rank: int, req: Request, active: dict) -> Any:
+        """The value delivered to ``rank`` this cycle (None for pure sends)."""
+        if isinstance(req, Send):
+            return None
+        if isinstance(req, SendRecv):
+            return active[req.peer].payload
+        src = req.src  # Recv or Shift
+        producer = active[src]
+        return producer.payload
+
+    def _validate(self, rank: int, req: Request) -> None:
+        """Type- and link-check a freshly issued request."""
+        if isinstance(req, Idle):
+            return
+        if isinstance(req, Send):
+            others = (req.dst,)
+        elif isinstance(req, Recv):
+            others = (req.src,)
+        elif isinstance(req, SendRecv):
+            others = (req.peer,)
+        elif isinstance(req, Shift):
+            others = (req.dst, req.src)
+        else:
+            raise ProgramError(
+                f"rank {rank} yielded {req!r}; expected "
+                f"Send/Recv/SendRecv/Shift/Idle"
+            )
+        for other in others:
+            if other == rank:
+                raise LinkError(f"rank {rank} addressed itself with {req!r}")
+            self.topo.check_node(other)
+            if not self.topo.has_edge(rank, other):
+                raise LinkError(
+                    f"rank {rank} addressed non-neighbor {other} with {req!r} "
+                    f"on {self.topo.name}"
+                )
+
+
+def run_spmd(
+    topo: Topology,
+    program: Program,
+    *,
+    trace: TraceRecorder | None = None,
+    log_messages: bool = False,
+    max_cycles: int = 1_000_000,
+) -> EngineResult:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine(
+        topo,
+        program,
+        trace=trace,
+        log_messages=log_messages,
+        max_cycles=max_cycles,
+    ).run()

@@ -1,0 +1,42 @@
+"""Simulator exception hierarchy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "LinkError",
+    "ProgramError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulator failures."""
+
+
+class DeadlockError(SimulationError):
+    """No pending request could complete in a cycle.
+
+    Raised with the set of blocked ranks and their requests, which is
+    usually enough to spot a mismatched send/recv pair in a node program.
+    """
+
+    def __init__(self, cycle: int, blocked: dict):
+        self.cycle = cycle
+        self.blocked = blocked
+        sample = ", ".join(
+            f"rank {r}: {req!r}" for r, req in list(blocked.items())[:8]
+        )
+        more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
+        super().__init__(
+            f"deadlock at cycle {cycle}: {len(blocked)} blocked requests — "
+            f"{sample}{more}"
+        )
+
+
+class LinkError(SimulationError):
+    """A message was addressed along a non-existent link."""
+
+
+class ProgramError(SimulationError):
+    """A node program misbehaved (bad request object, yielded after finish, …)."""

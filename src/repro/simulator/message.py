@@ -1,0 +1,28 @@
+"""Message record kept for tracing and debugging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint ranks; the link ``{src, dst}`` exists in the topology.
+    payload:
+        The carried value (a key, a partial sum, or a packed tuple).
+    cycle:
+        Clock cycle (1-based) in which delivery happened.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    cycle: int

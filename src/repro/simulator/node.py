@@ -1,0 +1,52 @@
+"""Per-node execution context handed to SPMD programs."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simulator.counters import CostCounters
+from repro.simulator.trace import TraceRecorder
+from repro.topology.base import Topology
+
+__all__ = ["NodeCtx"]
+
+
+class NodeCtx:
+    """What a node program sees: its rank, the topology, and local hooks.
+
+    A program is a generator function ``program(ctx)`` that yields
+    communication requests.  Between yields it runs ordinary Python; it
+    reports local computation through :meth:`compute` (so the parallel
+    computation-step count is measured, not asserted) and state snapshots
+    through :meth:`record` (for figure regeneration).
+    """
+
+    __slots__ = ("rank", "topo", "_counters", "_trace")
+
+    def __init__(
+        self,
+        rank: int,
+        topo: Topology,
+        counters: CostCounters,
+        trace: TraceRecorder | None,
+    ):
+        self.rank = rank
+        self.topo = topo
+        self._counters = counters
+        self._trace = trace
+
+    def compute(self, ops: int = 1) -> None:
+        """Account one local computation round of ``ops`` primitive operations."""
+        self._counters.record_compute(self.rank, ops)
+
+    def record(self, label: str, value: Any) -> None:
+        """Record a labelled state snapshot for this rank (no-op without a trace)."""
+        if self._trace is not None:
+            self._trace.record(label, self.rank, value)
+
+    def neighbors(self) -> tuple[int, ...]:
+        """Neighbors of this rank in the topology."""
+        return self.topo.neighbors(self.rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeCtx(rank={self.rank}, topo={self.topo.name})"

@@ -1,0 +1,63 @@
+"""Communication requests yielded by node programs.
+
+Each request occupies exactly one clock cycle when it completes.  A request
+blocks (consuming further cycles) until its counterpart is present: a
+:class:`Send` needs the destination to be posting a matching :class:`Recv`
+or :class:`SendRecv`; symmetric for :class:`Recv`.  :class:`SendRecv` is
+the full-duplex exchange used by every lockstep algorithm in the paper —
+both directions of one bidirectional channel in a single cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Send", "Recv", "SendRecv", "Shift", "Idle", "Request"]
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send ``payload`` to neighbor ``dst``; completes when ``dst`` receives."""
+
+    dst: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Receive one message from neighbor ``src``."""
+
+    src: int
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    """Full-duplex exchange with ``peer``: send ``payload``, receive theirs."""
+
+    peer: int
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Shift:
+    """Pipeline step: send ``payload`` to ``dst`` while receiving from ``src``.
+
+    The 1-port model allows one send and one receive per cycle to
+    *different* neighbors; ``Shift`` is that primitive — the kernel of
+    ring algorithms (systolic shifts, ring allreduce).  Completes only
+    when both legs complete in the same cycle: ``dst`` is receiving from
+    this node and ``src`` is sending to it.
+    """
+
+    dst: int
+    payload: Any
+    src: int
+
+
+@dataclass(frozen=True)
+class Idle:
+    """Spend one cycle doing nothing (lockstep alignment)."""
+
+
+Request = Send | Recv | SendRecv | Shift | Idle

@@ -1,0 +1,66 @@
+"""Trace recording for figure regeneration.
+
+The paper's Figures 3, 5 and 6 are snapshots of the per-node state after
+each algorithm phase.  Algorithms record labelled per-node values through
+:meth:`NodeCtx.record` (engine backend) or directly through
+:meth:`TraceRecorder.record_array` (vectorized backend); the benchmark
+harness then renders each labelled snapshot as one figure panel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Ordered, labelled per-node state snapshots.
+
+    A *snapshot* with label L is complete once every rank has recorded a
+    value under L the same number of times; ranks may record under the same
+    label repeatedly (one value per round), producing a series.
+    """
+
+    def __init__(self):
+        self._per_rank: dict[str, dict[int, list[Any]]] = {}
+        self._label_order: list[str] = []
+
+    def record(self, label: str, rank: int, value: Any) -> None:
+        """Record ``value`` for ``rank`` under ``label``."""
+        if label not in self._per_rank:
+            self._per_rank[label] = {}
+            self._label_order.append(label)
+        self._per_rank[label].setdefault(rank, []).append(value)
+
+    def record_array(self, label: str, values: Iterable[Any]) -> None:
+        """Record one full snapshot at once (rank k gets ``values[k]``)."""
+        for rank, value in enumerate(values):
+            self.record(label, rank, value)
+
+    def labels(self) -> tuple[str, ...]:
+        """Labels in first-recorded order."""
+        return tuple(self._label_order)
+
+    def depth(self, label: str) -> int:
+        """How many snapshots exist under ``label`` (min across ranks)."""
+        ranks = self._per_rank[label]
+        return min(len(v) for v in ranks.values())
+
+    def snapshot(self, label: str, num_nodes: int, index: int = 0) -> list:
+        """The ``index``-th snapshot under ``label`` as a rank-ordered list."""
+        ranks = self._per_rank[label]
+        out = []
+        for r in range(num_nodes):
+            if r not in ranks or index >= len(ranks[r]):
+                raise KeyError(
+                    f"snapshot {label!r}[{index}] incomplete at rank {r}"
+                )
+            out.append(ranks[r][index])
+        return out
+
+    def series(self, label: str, num_nodes: int) -> list[list]:
+        """All snapshots under ``label`` in recording order."""
+        return [
+            self.snapshot(label, num_nodes, i) for i in range(self.depth(label))
+        ]

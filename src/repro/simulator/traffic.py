@@ -1,0 +1,124 @@
+"""Random-traffic experiments (the paper's future-work "simulations").
+
+Routes batches of random source/destination pairs through a topology
+using a pluggable path router and measures what architects care about:
+average hop count, per-link load distribution, and the maximum link
+congestion — normalized comparisons between D_n and the same-size
+hypercube quantify the price of halving the links (experiment E11).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.topology.base import Topology
+
+__all__ = ["TrafficStats", "random_pairs", "run_traffic", "hypercube_dimension_order_path"]
+
+Router = Callable[[int, int], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Aggregate results of one traffic batch."""
+
+    topology: str
+    num_pairs: int
+    total_hops: int
+    max_link_load: int
+    mean_link_load: float
+    loaded_links: int
+    num_links: int
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean path length over the batch."""
+        return self.total_hops / self.num_pairs if self.num_pairs else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max link load over the mean across *all* links (1.0 = perfectly flat)."""
+        overall_mean = self.total_hops / self.num_links if self.num_links else 0.0
+        return self.max_link_load / overall_mean if overall_mean else 0.0
+
+    def row(self) -> tuple:
+        """Tuple for table rendering."""
+        return (
+            self.topology,
+            self.num_pairs,
+            round(self.avg_hops, 3),
+            self.max_link_load,
+            round(self.load_imbalance, 3),
+            self.loaded_links,
+            self.num_links,
+        )
+
+
+def random_pairs(
+    num_nodes: int, count: int, rng, *, exclude_self: bool = True
+) -> list[tuple[int, int]]:
+    """Sample ``count`` (src, dst) pairs uniformly."""
+    out = []
+    while len(out) < count:
+        u = int(rng.integers(0, num_nodes))
+        v = int(rng.integers(0, num_nodes))
+        if exclude_self and u == v:
+            continue
+        out.append((u, v))
+    return out
+
+
+def run_traffic(
+    topo: Topology,
+    router: Router,
+    pairs: Sequence[tuple[int, int]],
+) -> TrafficStats:
+    """Route every pair and aggregate hop/link-load statistics.
+
+    Each traversed undirected link counts one unit of load per message
+    crossing it (either direction).  Paths are validated hop by hop.
+    """
+    load: Counter = Counter()
+    total_hops = 0
+    for u, v in pairs:
+        path = list(router(u, v))
+        if path[0] != u or path[-1] != v:
+            raise ValueError(f"router returned bad endpoints for ({u}, {v})")
+        for a, b in zip(path, path[1:]):
+            if not topo.has_edge(a, b):
+                raise ValueError(
+                    f"router used non-edge ({a}, {b}) on {topo.name}"
+                )
+            load[(min(a, b), max(a, b))] += 1
+            total_hops += 1
+    num_links = sum(topo.degree(u) for u in topo.nodes()) // 2
+    return TrafficStats(
+        topology=topo.name,
+        num_pairs=len(pairs),
+        total_hops=total_hops,
+        max_link_load=max(load.values(), default=0),
+        mean_link_load=(
+            float(np.mean(list(load.values()))) if load else 0.0
+        ),
+        loaded_links=len(load),
+        num_links=num_links,
+    )
+
+
+def hypercube_dimension_order_path(u: int, v: int) -> list[int]:
+    """Dimension-order (e-cube) routing in the hypercube: fix bits low to high."""
+    path = [u]
+    cur = u
+    diff = u ^ v
+    i = 0
+    while diff:
+        if diff & 1:
+            cur ^= 1 << i
+            path.append(cur)
+        diff >>= 1
+        i += 1
+    return path

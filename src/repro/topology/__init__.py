@@ -1,0 +1,61 @@
+"""Interconnection-network topologies.
+
+The dual-cube (the paper's network) plus the hypercube it derives from and
+the bounded-degree rivals the paper's introduction compares against.
+
+All topologies share the :class:`~repro.topology.base.Topology` interface:
+nodes are integers ``0 .. num_nodes-1``, adjacency is exposed both as
+``neighbors(u)`` and, where the network is dimensioned, as per-dimension
+partner maps used by the synchronous algorithms.
+"""
+
+from repro.topology.base import Topology, DimensionedTopology
+from repro.topology.hypercube import Hypercube
+from repro.topology.dualcube import DualCube
+from repro.topology.recursive import RecursiveDualCube, standard_to_recursive, recursive_to_standard
+from repro.topology.ccc import CubeConnectedCycles
+from repro.topology.butterfly import WrappedButterfly
+from repro.topology.debruijn import DeBruijn
+from repro.topology.shuffle_exchange import ShuffleExchange
+from repro.topology.metacube import Metacube
+from repro.topology.metrics import (
+    TopologyMetrics,
+    diameter,
+    average_distance,
+    bfs_distances,
+    degree_stats,
+    edge_count,
+    cost_metric,
+    measure,
+)
+from repro.topology.faults import FaultSet, FaultyTopology
+from repro.topology.hamiltonian import hamiltonian_cycle, ring_embedding_dilation
+from repro.topology.nx_adapter import to_networkx
+
+__all__ = [
+    "Topology",
+    "DimensionedTopology",
+    "Hypercube",
+    "DualCube",
+    "RecursiveDualCube",
+    "standard_to_recursive",
+    "recursive_to_standard",
+    "CubeConnectedCycles",
+    "WrappedButterfly",
+    "DeBruijn",
+    "ShuffleExchange",
+    "Metacube",
+    "TopologyMetrics",
+    "diameter",
+    "average_distance",
+    "bfs_distances",
+    "degree_stats",
+    "edge_count",
+    "cost_metric",
+    "measure",
+    "FaultSet",
+    "FaultyTopology",
+    "hamiltonian_cycle",
+    "ring_embedding_dilation",
+    "to_networkx",
+]

@@ -1,0 +1,67 @@
+"""Wrapped butterfly BF_q.
+
+Degree-4 bounded-degree hypercube derivative (paper introduction).  Nodes
+are ``(level, row)`` with ``level`` in ``0..q-1`` and ``row`` in
+``0..2^q-1``; level ``l`` connects to level ``(l+1) mod q`` by a *straight*
+edge (same row) and a *cross* edge (row with bit ``l`` flipped).
+``q * 2^q`` nodes, degree 4 (for ``q >= 3``).
+"""
+
+from __future__ import annotations
+
+from repro._bits import flip_bit
+from repro.topology.base import Topology
+
+__all__ = ["WrappedButterfly"]
+
+
+class WrappedButterfly(Topology):
+    """The q-dimensional wrapped butterfly on ``q * 2**q`` nodes.
+
+    Node ``(level l, row r)`` is encoded as ``r * q + l``.  Requires
+    ``q >= 3`` so the forward and backward inter-level edges are distinct.
+    """
+
+    def __init__(self, q: int):
+        if q < 3:
+            raise ValueError(f"wrapped butterfly requires q >= 3, got {q}")
+        self._q = q
+
+    @property
+    def q(self) -> int:
+        """Number of levels (= row address width)."""
+        return self._q
+
+    @property
+    def name(self) -> str:
+        return f"BF_{self._q}"
+
+    @property
+    def num_nodes(self) -> int:
+        return self._q << self._q
+
+    def encode(self, level: int, row: int) -> int:
+        """Node index of ``(level, row)``."""
+        if not 0 <= level < self._q:
+            raise ValueError(f"level {level} out of range")
+        if not 0 <= row < (1 << self._q):
+            raise ValueError(f"row {row} out of range")
+        return row * self._q + level
+
+    def decode(self, u: int) -> tuple[int, int]:
+        """Inverse of :meth:`encode`: ``(level, row)``."""
+        self.check_node(u)
+        return (u % self._q, u // self._q)
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        self.check_node(u)
+        level, row = u % self._q, u // self._q
+        q = self._q
+        nxt = (level + 1) % q
+        prv = (level - 1) % q
+        return (
+            self.encode(nxt, row),  # straight forward
+            self.encode(nxt, flip_bit(row, level)),  # cross forward
+            self.encode(prv, row),  # straight backward
+            self.encode(prv, flip_bit(row, prv)),  # cross backward
+        )

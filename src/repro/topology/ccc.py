@@ -1,0 +1,64 @@
+"""Cube-connected cycles CCC_q (Preparata & Vuillemin).
+
+One of the bounded-degree hypercube derivatives the paper's introduction
+positions the dual-cube against.  CCC_q replaces each node of Q_q by a
+q-cycle; node ``(x, p)`` (cube address ``x``, cycle position ``p``) has two
+cycle neighbors and one cube neighbor ``(x ^ 2^p, p)``.  Degree 3,
+``q * 2^q`` nodes.
+"""
+
+from __future__ import annotations
+
+from repro._bits import flip_bit
+from repro.topology.base import Topology
+
+__all__ = ["CubeConnectedCycles"]
+
+
+class CubeConnectedCycles(Topology):
+    """CCC_q on ``q * 2**q`` nodes, degree 3.
+
+    Node ``(x, p)`` is encoded as ``x * q + p``.  Requires ``q >= 3`` so
+    the cycle edges are distinct (for ``q < 3`` the cycle degenerates).
+    """
+
+    def __init__(self, q: int):
+        if q < 3:
+            raise ValueError(f"CCC requires q >= 3, got {q}")
+        self._q = q
+
+    @property
+    def q(self) -> int:
+        """Underlying cube dimension (= cycle length)."""
+        return self._q
+
+    @property
+    def name(self) -> str:
+        return f"CCC_{self._q}"
+
+    @property
+    def num_nodes(self) -> int:
+        return self._q << self._q
+
+    def encode(self, x: int, p: int) -> int:
+        """Node index of cube address ``x``, cycle position ``p``."""
+        if not 0 <= x < (1 << self._q):
+            raise ValueError(f"cube address {x} out of range")
+        if not 0 <= p < self._q:
+            raise ValueError(f"cycle position {p} out of range")
+        return x * self._q + p
+
+    def decode(self, u: int) -> tuple[int, int]:
+        """Inverse of :meth:`encode`: ``(cube address, cycle position)``."""
+        self.check_node(u)
+        return (u // self._q, u % self._q)
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        self.check_node(u)
+        x, p = u // self._q, u % self._q
+        q = self._q
+        return (
+            self.encode(x, (p + 1) % q),
+            self.encode(x, (p - 1) % q),
+            self.encode(flip_bit(x, p), p),
+        )

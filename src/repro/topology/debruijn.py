@@ -1,0 +1,61 @@
+"""Binary de Bruijn graph dB(2, q) as an undirected topology.
+
+Degree-(<=4) bounded-degree network from the paper's introduction.  The
+directed de Bruijn graph has an arc ``u -> (2u + b) mod 2^q`` for
+``b in {0, 1}``; the undirected version used for degree/diameter
+comparisons connects each node to its left-shift successors and
+right-shift predecessors, dropping self-loops (at 0 and 2^q - 1).
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+__all__ = ["DeBruijn"]
+
+
+class DeBruijn(Topology):
+    """Undirected binary de Bruijn graph on ``2**q`` nodes.
+
+    Parameters
+    ----------
+    q:
+        Address width; ``q >= 2``.
+    """
+
+    def __init__(self, q: int):
+        if q < 2:
+            raise ValueError(f"de Bruijn graph requires q >= 2, got {q}")
+        self._q = q
+
+    @property
+    def q(self) -> int:
+        """Address width."""
+        return self._q
+
+    @property
+    def name(self) -> str:
+        return f"dB_{self._q}"
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self._q
+
+    def successors(self, u: int) -> tuple[int, int]:
+        """Directed successors ``(2u) mod 2^q`` and ``(2u + 1) mod 2^q``."""
+        self.check_node(u)
+        m = self.num_nodes - 1
+        return (((u << 1) & m), ((u << 1) & m) | 1)
+
+    def predecessors(self, u: int) -> tuple[int, int]:
+        """Directed predecessors ``u >> 1`` and ``(u >> 1) | 2^(q-1)``."""
+        self.check_node(u)
+        return (u >> 1, (u >> 1) | (1 << (self._q - 1)))
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        self.check_node(u)
+        out: list[int] = []
+        for v in (*self.successors(u), *self.predecessors(u)):
+            if v != u and v not in out:
+                out.append(v)
+        return tuple(out)

@@ -1,0 +1,147 @@
+"""Hamiltonian cycles in the dual-cube (ring embedding, dilation 1).
+
+A hypercube-like property the paper's Section 1 alludes to ("dual-cube
+holds more hypercube-like properties than others"): D_n is Hamiltonian
+for n >= 2, so a ring of 2^(2n-1) processes embeds with dilation 1.
+
+Constructive induction over the recursive presentation:
+
+* base D_2 is the 8-cycle (explicit);
+* D_n = four D_{n-1} copies + the dimension-(2n-2) links (class-0 nodes)
+  and dimension-(2n-3) links (class-1 nodes).  Any Hamiltonian cycle of
+  D_{n-1} must contain an intra-cluster edge of *each* class (a node's
+  single cross-edge cannot supply both of its cycle edges), so:
+
+  1. lift one D_{n-1} cycle into all four copies;
+  2. merge copies (00, 10) and (01, 11) by exchanging a class-0 edge for
+     its two dimension-(2n-2) lifts;
+  3. merge the two halves by exchanging a class-1 edge for its two
+     dimension-(2n-3) lifts.
+
+Every step preserves Hamiltonicity, giving an O(V) construction verified
+edge-by-edge in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.topology.recursive import RecursiveDualCube
+
+__all__ = ["hamiltonian_cycle", "ring_embedding_dilation"]
+
+# Explicit Hamiltonian cycle of D_2 (the 8-cycle) in the recursive
+# presentation; contains class-0 (dim-2) edges (2,6), (4,0) and class-1
+# (dim-1) edges (1,3), (7,5).
+_D2_CYCLE = (0, 1, 3, 2, 6, 7, 5, 4)
+
+
+def _cycle_adjacency(cycle: tuple[int, ...]) -> dict[int, list[int]]:
+    adj: dict[int, list[int]] = {u: [] for u in cycle}
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        adj[a].append(b)
+        adj[b].append(a)
+    return adj
+
+
+def _walk(adj: dict[int, list[int]]) -> tuple[int, ...]:
+    """Reconstruct the node sequence of a 2-regular adjacency map."""
+    start = next(iter(adj))
+    seq = [start]
+    prev = None
+    cur = start
+    while True:
+        a, b = adj[cur]
+        nxt = b if a == prev else a
+        if nxt == start:
+            break
+        seq.append(nxt)
+        prev, cur = cur, nxt
+    if len(seq) != len(adj):
+        raise AssertionError("adjacency map is not a single cycle")
+    return tuple(seq)
+
+
+def _find_intra_edge(cycle: tuple[int, ...], cls: int) -> tuple[int, int]:
+    """An adjacent pair of the cycle lying in class ``cls`` (intra edge)."""
+    for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+        if a & 1 == cls and b & 1 == cls:
+            return (a, b)
+    raise AssertionError(
+        f"Hamiltonian cycle unexpectedly lacks a class-{cls} intra edge"
+    )
+
+
+def _merge(
+    adj: dict[int, list[int]],
+    edge_a: tuple[int, int],
+    edge_b: tuple[int, int],
+) -> None:
+    """Exchange two parallel edges for the two rungs joining them.
+
+    ``edge_a = (u, v)`` and ``edge_b = (u', v')`` lie in different cycles
+    stored in the same adjacency map; after removal, rungs (u, u') and
+    (v, v') join the cycles into one.
+    """
+    (u, v), (u2, v2) = edge_a, edge_b
+    adj[u].remove(v)
+    adj[v].remove(u)
+    adj[u2].remove(v2)
+    adj[v2].remove(u2)
+    adj[u].append(u2)
+    adj[u2].append(u)
+    adj[v].append(v2)
+    adj[v2].append(v)
+
+
+def hamiltonian_cycle(n: int) -> tuple[int, ...]:
+    """A Hamiltonian cycle of D_n (recursive presentation), n >= 2.
+
+    Returns the node sequence; consecutive entries (cyclically) are
+    adjacent in :class:`~repro.topology.recursive.RecursiveDualCube`.
+    """
+    if n < 2:
+        raise ValueError(
+            f"D_n is Hamiltonian for n >= 2 (D_1 is K_2); got n = {n}"
+        )
+    if n == 2:
+        return _D2_CYCLE
+
+    sub = hamiltonian_cycle(n - 1)
+    size = 1 << (2 * n - 3)
+    top_even = 2 * n - 2  # class-0 joining dimension (flips copy bit 1)
+    top_odd = 2 * n - 3  # class-1 joining dimension (flips copy bit 0)
+
+    e0 = _find_intra_edge(sub, 0)
+    e1 = _find_intra_edge(sub, 1)
+
+    # Lift the sub-cycle into the four contiguous copies.
+    adj: dict[int, list[int]] = {}
+    for copy in range(4):
+        base = copy * size
+        for u, nbrs in _cycle_adjacency(sub).items():
+            adj[base + u] = [base + w for w in nbrs]
+
+    def lifted(edge, copy):
+        return (copy * size + edge[0], copy * size + edge[1])
+
+    # Merge along the class-0 dimension: copies (00, 10) and (01, 11).
+    _merge(adj, lifted(e0, 0b00), lifted(e0, 0b10))
+    _merge(adj, lifted(e0, 0b01), lifted(e0, 0b11))
+    # Merge the halves along the class-1 dimension: copies (00, 01).
+    _merge(adj, lifted(e1, 0b00), lifted(e1, 0b01))
+    return _walk(adj)
+
+
+def ring_embedding_dilation(rdc: RecursiveDualCube, mapping) -> int:
+    """Worst-case dilation of a ring-to-network embedding.
+
+    ``mapping[k]`` is the node hosting ring position ``k``; dilation is
+    the maximum network distance between consecutive ring positions.  The
+    Hamiltonian embedding achieves 1.
+    """
+    order = list(mapping)
+    if sorted(order) != list(rdc.nodes()):
+        raise ValueError("mapping must be a permutation of the nodes")
+    worst = 0
+    for a, b in zip(order, order[1:] + order[:1]):
+        worst = max(worst, rdc.distance(a, b))
+    return worst

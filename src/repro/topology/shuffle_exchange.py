@@ -1,0 +1,61 @@
+"""Shuffle-exchange network SE_q as an undirected topology.
+
+Degree-(<=3) bounded-degree network from the paper's introduction.  Node
+``u`` has an *exchange* edge to ``u ^ 1`` and *shuffle* edges to its
+left/right cyclic bit rotations; self-loop rotations (at 0 and 2^q - 1)
+are dropped.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+__all__ = ["ShuffleExchange"]
+
+
+class ShuffleExchange(Topology):
+    """Undirected shuffle-exchange network on ``2**q`` nodes.
+
+    Parameters
+    ----------
+    q:
+        Address width; ``q >= 2``.
+    """
+
+    def __init__(self, q: int):
+        if q < 2:
+            raise ValueError(f"shuffle-exchange requires q >= 2, got {q}")
+        self._q = q
+
+    @property
+    def q(self) -> int:
+        """Address width."""
+        return self._q
+
+    @property
+    def name(self) -> str:
+        return f"SE_{self._q}"
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self._q
+
+    def rotate_left(self, u: int) -> int:
+        """Cyclic left rotation of the q-bit address (the shuffle map)."""
+        self.check_node(u)
+        q = self._q
+        return ((u << 1) | (u >> (q - 1))) & (self.num_nodes - 1)
+
+    def rotate_right(self, u: int) -> int:
+        """Cyclic right rotation (the unshuffle map)."""
+        self.check_node(u)
+        q = self._q
+        return (u >> 1) | ((u & 1) << (q - 1))
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        self.check_node(u)
+        out = [u ^ 1]
+        for v in (self.rotate_left(u), self.rotate_right(u)):
+            if v != u and v not in out:
+                out.append(v)
+        return tuple(out)

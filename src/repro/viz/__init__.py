@@ -1,0 +1,21 @@
+"""Text-mode rendering of networks and algorithm states.
+
+The paper's figures are drawings; this package regenerates them as
+terminal art: cluster diagrams with three-field address labels (Figs.
+1-2), adjacency matrices, route overlays, and per-step key grids for the
+sorting walkthrough (Figs. 5-6).
+"""
+
+from repro.viz.ascii_art import (
+    render_adjacency_matrix,
+    render_clusters,
+    render_route,
+    render_key_grid,
+)
+
+__all__ = [
+    "render_adjacency_matrix",
+    "render_clusters",
+    "render_route",
+    "render_key_grid",
+]

@@ -1,0 +1,93 @@
+"""ASCII renderers for topologies, routes, and key states."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Topology
+from repro.topology.dualcube import DualCube
+
+__all__ = [
+    "render_adjacency_matrix",
+    "render_clusters",
+    "render_route",
+    "render_key_grid",
+]
+
+
+def render_adjacency_matrix(topo: Topology, *, max_nodes: int = 64) -> str:
+    """Dense 0/1 adjacency matrix as a character grid (small networks)."""
+    n = topo.num_nodes
+    if n > max_nodes:
+        raise ValueError(
+            f"{topo.name} has {n} nodes; adjacency art capped at {max_nodes}"
+        )
+    width = len(str(n - 1))
+    header = " " * (width + 1) + " ".join(
+        str(v).rjust(1) for v in range(n)
+    )
+    lines = [f"{topo.name} adjacency:", header]
+    for u in range(n):
+        nbrs = set(topo.neighbors(u))
+        row = " ".join("#" if v in nbrs else "." for v in range(n))
+        lines.append(f"{str(u).rjust(width)} {row}")
+    return "\n".join(lines)
+
+
+def render_clusters(dc: DualCube, values: Sequence | None = None) -> str:
+    """Cluster diagram of a dual-cube (the paper's Figs. 1-2 layout).
+
+    Each cluster prints its members as ``address(binary)`` or, when
+    ``values`` is given, as ``address:value``.
+    """
+    n = dc.n
+    lines = [f"{dc.name}: class/cluster layout"]
+    for cls in (0, 1):
+        lines.append(f"class {cls}:")
+        for k in range(dc.clusters_per_class):
+            cells = []
+            for u in dc.cluster_members(cls, k):
+                if values is None:
+                    cells.append(format(u, f"0{2 * n - 1}b"))
+                else:
+                    cells.append(f"{u}:{values[u]}")
+            lines.append(f"  cluster {k}: [" + " ".join(cells) + "]")
+    return "\n".join(lines)
+
+
+def render_route(dc: DualCube, path: Sequence[int]) -> str:
+    """One route as annotated hops: address, fields, and hop kind."""
+    lines = [f"route on {dc.name}: {path[0]} -> {path[-1]} ({len(path) - 1} hops)"]
+    for i, u in enumerate(path):
+        tag = ""
+        if i > 0:
+            prev = path[i - 1]
+            tag = (
+                "cross-edge"
+                if dc.class_of(prev) != dc.class_of(u)
+                else f"intra dim {(prev ^ u).bit_length() - 1}"
+            )
+        lines.append(
+            f"  {format(u, f'0{2 * dc.n - 1}b')}  "
+            f"(class {dc.class_of(u)}, cluster {dc.cluster_id(u)}, "
+            f"node {dc.node_id(u)})"
+            + (f"   <- {tag}" if tag else "")
+        )
+    return "\n".join(lines)
+
+
+def render_key_grid(
+    states: Sequence[Sequence], labels: Sequence[str], *, width: int = 16
+) -> str:
+    """Per-step key states as aligned rows (the Figs. 5-6 style)."""
+    if len(states) != len(labels):
+        raise ValueError("states and labels must align")
+    flat = [v for st in states for v in st]
+    cell = max(len(str(v)) for v in flat) if flat else 1
+    lines = []
+    for label, state in zip(labels, states):
+        lines.append(label)
+        vals = [str(v).rjust(cell) for v in state]
+        for lo in range(0, len(vals), width):
+            lines.append("  " + " ".join(vals[lo : lo + width]))
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Tests for the closed-form cost models (Theorems 1-2 reconstructions)."""
+
+import pytest
+
+from repro.analysis import complexity as C
+
+
+class TestStructureFormulas:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_nodes_edges(self, n):
+        assert C.dual_cube_nodes(n) == 2 ** (2 * n - 1)
+        assert C.dual_cube_edges(n) == n * 2 ** (2 * n - 2)
+
+    def test_diameter(self):
+        assert C.dual_cube_diameter(1) == 1
+        assert [C.dual_cube_diameter(n) for n in (2, 3, 4)] == [4, 6, 8]
+
+    def test_same_size_hypercube(self):
+        assert C.hypercube_same_size_dim(3) == 5
+        assert 2 ** C.hypercube_same_size_dim(4) == C.dual_cube_nodes(4)
+
+    def test_paper_scale_claim(self):
+        # "tens of thousands of processors ... up to eight connections":
+        # D_8 has 2^15 = 32768 nodes with degree 8.
+        assert C.dual_cube_nodes(8) == 32768
+
+    def test_reject_bad_n(self):
+        for fn in (C.dual_cube_nodes, C.theorem1_comm_bound, C.theorem2_comm_bound):
+            with pytest.raises(ValueError):
+                fn(0)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_bounds_dominate_exact(self, n):
+        assert C.dual_prefix_comm_exact(n) <= C.theorem1_comm_bound(n)
+        assert C.dual_prefix_comm_exact(n, paper_literal=True) == C.theorem1_comm_bound(n)
+        assert C.dual_prefix_comp_exact(n) == C.theorem1_comp_bound(n)
+
+    def test_recurrence_shape(self):
+        # 2(n-1) cluster rounds + 2 (or 3) cross exchanges.
+        for n in range(1, 8):
+            assert C.dual_prefix_comm_exact(n) == 2 * (n - 1) + 2
+
+    def test_against_same_size_hypercube(self):
+        # Dual-cube prefix pays exactly one extra step vs Q_{2n-1}.
+        for n in range(1, 8):
+            assert (
+                C.dual_prefix_comm_exact(n)
+                == C.hypercube_prefix_steps(2 * n - 1) + 1
+            )
+
+    def test_hypercube_prefix_rejects_negative(self):
+        with pytest.raises(ValueError):
+            C.hypercube_prefix_steps(-1)
+
+
+class TestTheorem2:
+    def test_paper_recurrence_solution(self):
+        # T(n) = T(n-1) + 3(4n-3), T(1) = 1  ->  6n^2 - 3n - 2.
+        t = 1
+        for n in range(2, 12):
+            t += 3 * (4 * n - 3)
+            assert C.theorem2_comm_bound(n) == t
+
+    def test_exact_packed_recurrence(self):
+        # Engine model: dim-0 steps cost 1 (2 per level), others 3.
+        t = 1
+        for n in range(2, 12):
+            t += 3 * (4 * n - 3) - 4
+            assert C.dual_sort_comm_exact(n) == t
+
+    def test_exact_single_recurrence(self):
+        t = 1
+        for n in range(2, 12):
+            t += 4 * (4 * n - 5) + 2
+            assert C.dual_sort_comm_exact(n, payload_policy="single") == t
+
+    def test_comp_recurrence(self):
+        t = 1
+        for n in range(2, 12):
+            t += 4 * n - 3
+            assert C.dual_sort_comp_exact(n) == t
+            assert C.theorem2_comp_bound(n) == t
+
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_bound_dominates_exact(self, n):
+        assert C.dual_sort_comm_exact(n) <= C.theorem2_comm_bound(n)
+        assert (
+            C.dual_sort_comm_exact(n, payload_policy="single")
+            >= C.dual_sort_comm_exact(n)
+        )
+
+    def test_overhead_ratio_monotone_toward_three(self):
+        ratios = [C.sort_overhead_ratio(n) for n in range(1, 30)]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 3.0
+        assert C.sort_overhead_ratio(200) > 2.95
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            C.dual_sort_comm_exact(2, payload_policy="smoke-signal")
+
+    def test_hypercube_bitonic_formula(self):
+        assert C.hypercube_bitonic_steps(5) == 15
+        with pytest.raises(ValueError):
+            C.hypercube_bitonic_steps(-2)

@@ -1,0 +1,62 @@
+"""Tests for experiment-record persistence."""
+
+import json
+
+from repro.analysis.io import (
+    ExperimentRecord,
+    collect_artifacts,
+    load_record,
+    save_record,
+)
+from repro.simulator import CostCounters
+
+
+class TestRecords:
+    def test_from_counters_snapshot(self):
+        c = CostCounters(8)
+        c.record_comm_step(messages=8)
+        rec = ExperimentRecord.from_counters(
+            "E4", {"n": 2}, c, notes="prefix run"
+        )
+        assert rec.experiment == "E4"
+        assert rec.parameters == {"n": 2}
+        assert rec.counters["comm_steps"] == 1
+        assert rec.notes == "prefix run"
+        assert "python" in rec.environment
+
+    def test_save_load_roundtrip(self, tmp_path):
+        rec = ExperimentRecord("X", {"a": 1}, {"comm_steps": 3}, notes="hi")
+        p = save_record(rec, tmp_path / "sub" / "x.json")
+        assert p.exists()
+        back = load_record(p)
+        assert back == rec
+
+    def test_json_is_stable_and_readable(self, tmp_path):
+        rec = ExperimentRecord("Y", {"n": 3}, {"messages": 10})
+        p = save_record(rec, tmp_path / "y.json")
+        data = json.loads(p.read_text())
+        assert data["experiment"] == "Y"
+        assert data["counters"]["messages"] == 10
+
+
+class TestCollectArtifacts:
+    def test_collects_titles(self, tmp_path):
+        (tmp_path / "E1_demo.txt").write_text("Title line\nbody\n")
+        (tmp_path / "E2_other.txt").write_text("Other title\n")
+        arts = collect_artifacts(tmp_path)
+        assert arts == {"E1_demo": "Title line", "E2_other": "Other title"}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert collect_artifacts(tmp_path / "nope") == {}
+
+    def test_empty_file_tolerated(self, tmp_path):
+        (tmp_path / "empty.txt").write_text("")
+        assert collect_artifacts(tmp_path) == {"empty": ""}
+
+    def test_real_benchmark_output_collects(self):
+        from pathlib import Path
+
+        out_dir = Path(__file__).resolve().parents[2] / "benchmarks" / "out"
+        if out_dir.is_dir():
+            arts = collect_artifacts(out_dir)
+            assert any(k.startswith("E4") for k in arts)

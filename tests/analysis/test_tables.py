@@ -1,0 +1,42 @@
+"""Tests for the table formatters."""
+
+from repro.analysis.tables import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bb"], [(1, 2), (33, 444)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row equally wide
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["r"], [(2.66666,)])
+        assert "2.667" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b"], [("name", 1.5)])
+        assert "name" in out and "1.500" in out
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(["a", "b"], [(1, 2)])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_floats(self):
+        out = format_markdown_table(["x"], [(1 / 3,)])
+        assert "0.333" in out

@@ -1,0 +1,94 @@
+"""Tests for the distributed linear-algebra kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.linear_algebra import (
+    RowBlockMatrix,
+    distributed_matvec,
+    power_iteration,
+)
+from repro.simulator import CostCounters
+from repro.topology import DualCube
+
+
+class TestRowBlockMatrix:
+    def test_layout(self, rng):
+        dc = DualCube(2)
+        a = rng.normal(size=(16, 16))
+        mat = RowBlockMatrix(dc, a)
+        assert mat.shape == (16, 16)
+        assert mat.rows_per_node == 2
+        assert np.allclose(mat.blocks[3], a[6:8])
+
+    def test_rejects_misaligned_rows(self, rng):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            RowBlockMatrix(dc, rng.normal(size=(9, 9)))
+        with pytest.raises(ValueError):
+            RowBlockMatrix(dc, rng.normal(size=(8,)))
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("rows_per_node", [1, 2, 4])
+    def test_matches_numpy(self, rows_per_node, rng):
+        dc = DualCube(2)
+        rows = 8 * rows_per_node
+        a = rng.normal(size=(rows, rows))
+        x = rng.normal(size=rows)
+        mat = RowBlockMatrix(dc, a)
+        assert np.allclose(distributed_matvec(mat, x), a @ x)
+
+    def test_rectangular(self, rng):
+        dc = DualCube(2)
+        a = rng.normal(size=(8, 5))
+        x = rng.normal(size=5)
+        assert np.allclose(distributed_matvec(RowBlockMatrix(dc, a), x), a @ x)
+
+    def test_shape_validation(self, rng):
+        dc = DualCube(2)
+        mat = RowBlockMatrix(dc, rng.normal(size=(8, 8)))
+        with pytest.raises(ValueError):
+            distributed_matvec(mat, np.ones(7))
+
+    def test_communication_charged(self, rng):
+        dc = DualCube(2)
+        mat = RowBlockMatrix(dc, rng.normal(size=(8, 8)))
+        c = CostCounters(dc.num_nodes)
+        distributed_matvec(mat, rng.normal(size=8), counters=c)
+        assert c.comm_steps == 2 * dc.n  # one allgather
+        assert c.total_ops > 0
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenvalue(self, rng):
+        dc = DualCube(2)
+        # Symmetric matrix with a known dominant eigenpair.
+        q, _ = np.linalg.qr(rng.normal(size=(8, 8)))
+        eigs = np.array([5.0, 2.0, 1.0, 0.5, 0.3, 0.2, 0.1, 0.05])
+        a = q @ np.diag(eigs) @ q.T
+        lam, vec, used = power_iteration(
+            RowBlockMatrix(dc, a), iterations=500, tol=1e-12
+        )
+        assert lam == pytest.approx(5.0, rel=1e-6)
+        assert np.allclose(a @ vec, lam * vec, atol=1e-4)
+
+    def test_charges_one_allgather_and_allreduce_per_iteration(self, rng):
+        dc = DualCube(2)
+        a = np.diag(np.arange(1.0, 9.0))
+        c = CostCounters(dc.num_nodes)
+        _, _, used = power_iteration(
+            RowBlockMatrix(dc, a), iterations=7, tol=0.0, counters=c
+        )
+        assert used == 7
+        assert c.comm_steps == 7 * (2 * dc.n + 2 * dc.n)
+
+    def test_requires_square(self, rng):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            power_iteration(RowBlockMatrix(dc, rng.normal(size=(8, 5))))
+
+    def test_zero_matrix(self):
+        dc = DualCube(2)
+        lam, _, _ = power_iteration(RowBlockMatrix(dc, np.zeros((8, 8))))
+        assert lam == 0.0

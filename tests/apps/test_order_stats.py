@@ -1,0 +1,83 @@
+"""Tests for order-statistics applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps import parallel_histogram, parallel_quantiles, parallel_top_k
+from repro.simulator import CostCounters
+from repro.topology import RecursiveDualCube
+
+
+class TestQuantiles:
+    def test_extremes_and_median(self, rng):
+        rdc = RecursiveDualCube(3)
+        keys = rng.integers(0, 1000, 32)
+        q = parallel_quantiles(rdc, keys, [0.0, 0.5, 1.0])
+        s = np.sort(keys)
+        assert q[0] == s[0]
+        assert q[1] == s[15]  # nearest-rank: ceil(0.5*32) - 1
+        assert q[2] == s[31]
+
+    def test_quantile_bounds_checked(self, rng):
+        rdc = RecursiveDualCube(2)
+        with pytest.raises(ValueError):
+            parallel_quantiles(rdc, rng.integers(0, 9, 8), [1.5])
+
+    def test_shape_checked(self):
+        rdc = RecursiveDualCube(2)
+        with pytest.raises(ValueError):
+            parallel_quantiles(rdc, np.arange(7), [0.5])
+
+    def test_counters_report_sort_cost(self, rng):
+        from repro.analysis.complexity import dual_sort_comm_exact
+
+        rdc = RecursiveDualCube(2)
+        c = CostCounters(8)
+        parallel_quantiles(rdc, rng.integers(0, 9, 8), [0.5], counters=c)
+        assert c.comm_steps == dual_sort_comm_exact(2)
+
+
+class TestTopK:
+    def test_matches_sorted_tail(self, rng):
+        rdc = RecursiveDualCube(3)
+        keys = rng.permutation(32)
+        got = parallel_top_k(rdc, keys, 5)
+        assert list(got) == [31, 30, 29, 28, 27]
+
+    def test_k_bounds(self, rng):
+        rdc = RecursiveDualCube(2)
+        keys = rng.integers(0, 9, 8)
+        with pytest.raises(ValueError):
+            parallel_top_k(rdc, keys, 0)
+        with pytest.raises(ValueError):
+            parallel_top_k(rdc, keys, 9)
+
+    def test_k_equals_n(self, rng):
+        rdc = RecursiveDualCube(2)
+        keys = rng.integers(0, 100, 8)
+        got = parallel_top_k(rdc, keys, 8)
+        assert list(got) == sorted(keys, reverse=True)
+
+
+class TestHistogram:
+    def test_matches_numpy(self, rng):
+        rdc = RecursiveDualCube(3)
+        keys = rng.uniform(0, 100, 32)
+        edges = [0, 20, 40, 60, 80, 100.0001]
+        got = parallel_histogram(rdc, keys, edges)
+        expect = np.histogram(keys, bins=edges)[0]
+        assert list(got) == list(expect)
+        assert got.sum() == 32
+
+    def test_empty_bins(self):
+        rdc = RecursiveDualCube(2)
+        keys = np.full(8, 5.0)
+        got = parallel_histogram(rdc, keys, [0, 1, 2, 10])
+        assert list(got) == [0, 0, 8]
+
+    def test_edges_must_increase(self, rng):
+        rdc = RecursiveDualCube(2)
+        with pytest.raises(ValueError):
+            parallel_histogram(rdc, rng.uniform(0, 1, 8), [0, 0, 1])
+        with pytest.raises(ValueError):
+            parallel_histogram(rdc, rng.uniform(0, 1, 8), [0])

@@ -1,0 +1,76 @@
+"""Tests for sample sort on the dual-cube."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sample_sort import sample_sort
+from repro.topology import DualCube
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("n", [2, 3])
+    @pytest.mark.parametrize("b", [1, 4, 16])
+    def test_sorts(self, n, b, rng):
+        dc = DualCube(n)
+        keys = rng.integers(0, 10**6, b * dc.num_nodes)
+        out, _ = sample_sort(dc, keys)
+        assert list(out) == sorted(keys)
+
+    def test_stats_shape(self, rng):
+        dc = DualCube(3)
+        keys = rng.integers(0, 1000, 8 * 32)
+        _, stats = sample_sort(dc, keys)
+        assert stats.num_keys == 256
+        assert stats.num_buckets == 32
+        assert stats.max_bucket >= stats.min_bucket >= 0
+        assert stats.max_bucket + stats.min_bucket <= stats.num_keys
+        assert stats.imbalance >= 1.0
+        assert 0 <= stats.avg_key_distance <= dc.diameter()
+
+    def test_uniform_keys_balance_well(self, rng):
+        dc = DualCube(3)
+        keys = rng.permutation(64 * 32)
+        _, stats = sample_sort(dc, keys, oversample=16)
+        assert stats.imbalance < 2.0
+
+    def test_skewed_keys_imbalance(self):
+        """All-equal keys land in one bucket — the failure mode oblivious
+        sorting never has."""
+        dc = DualCube(2)
+        keys = np.full(8 * 8, 7)
+        out, stats = sample_sort(dc, keys)
+        assert list(out) == [7] * 64
+        assert stats.max_bucket == 64
+        assert stats.imbalance == 8.0
+
+    def test_key_distance_bounded_by_mean_distance_regime(self, rng):
+        from repro.topology.metrics import average_distance
+
+        dc = DualCube(3)
+        keys = rng.permutation(32 * 32)
+        _, stats = sample_sort(dc, keys, oversample=8)
+        # Routing each key once: average hop count near the mean distance.
+        assert stats.avg_key_distance <= average_distance(dc) + 1.5
+
+    def test_oversample_improves_balance(self, rng):
+        dc = DualCube(3)
+        keys = rng.normal(size=64 * 32)
+        _, low = sample_sort(dc, keys, oversample=1)
+        _, high = sample_sort(dc, keys, oversample=32)
+        assert high.imbalance <= low.imbalance + 1e-9
+
+    def test_validation(self, rng):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            sample_sort(dc, rng.integers(0, 9, 9))
+        with pytest.raises(ValueError):
+            sample_sort(dc, rng.integers(0, 9, 16), oversample=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=16, max_size=16))
+    def test_property_sorts(self, keys):
+        dc = DualCube(2)
+        out, _ = sample_sort(dc, np.array(keys * 1))
+        assert list(out) == sorted(keys)

@@ -1,0 +1,122 @@
+"""Tests for the scan-application kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import enumerate_true, linear_recurrence, segmented_sum, stream_compact
+from repro.simulator import CostCounters
+from repro.topology import DualCube
+
+
+class TestEnumerateTrue:
+    def test_counts_preceding_flags(self):
+        dc = DualCube(2)
+        flags = [1, 0, 1, 1, 0, 0, 1, 0]
+        got = enumerate_true(dc, flags)
+        assert list(got) == [0, 1, 1, 2, 3, 3, 3, 4]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            enumerate_true(DualCube(2), [0, 1, 2, 0, 0, 0, 0, 0])
+
+    def test_counters_exposed(self, rng):
+        dc = DualCube(3)
+        c = CostCounters(32)
+        enumerate_true(dc, rng.integers(0, 2, 32), counters=c)
+        assert c.comm_steps == 6
+
+
+class TestStreamCompact:
+    def test_preserves_order(self, rng):
+        dc = DualCube(3)
+        vals = rng.integers(0, 100, 32)
+        got = stream_compact(dc, vals, lambda v: v > 50)
+        assert list(got) == [v for v in vals if v > 50]
+
+    def test_all_and_none_kept(self, rng):
+        dc = DualCube(2)
+        vals = rng.integers(0, 10, 8)
+        assert list(stream_compact(dc, vals, lambda v: True)) == list(vals)
+        assert list(stream_compact(dc, vals, lambda v: False)) == []
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            stream_compact(DualCube(2), np.arange(9), lambda v: True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 99), min_size=8, max_size=8))
+    def test_property(self, vals):
+        dc = DualCube(2)
+        got = stream_compact(dc, np.array(vals), lambda v: v % 3 == 0)
+        assert list(got) == [v for v in vals if v % 3 == 0]
+
+
+class TestLinearRecurrence:
+    def test_matches_serial_solve(self, rng):
+        dc = DualCube(3)
+        a = rng.uniform(0.5, 1.5, 32)
+        b = rng.uniform(-1.0, 1.0, 32)
+        xs = linear_recurrence(dc, a, b, x0=3.0)
+        x = 3.0
+        for k in range(32):
+            x = a[k] * x + b[k]
+            assert xs[k] == pytest.approx(x, rel=1e-9, abs=1e-9)
+
+    def test_constant_coefficients(self):
+        dc = DualCube(2)
+        xs = linear_recurrence(dc, np.ones(8), np.ones(8), x0=0.0)
+        assert list(xs) == [float(k + 1) for k in range(8)]
+
+    def test_pure_decay(self):
+        dc = DualCube(2)
+        xs = linear_recurrence(dc, np.full(8, 0.5), np.zeros(8), x0=1.0)
+        assert xs[-1] == pytest.approx(0.5**8)
+
+    def test_shape_validation(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            linear_recurrence(dc, np.ones(7), np.ones(8), 0.0)
+
+
+class TestSegmentedSum:
+    def test_restarts_at_heads(self):
+        dc = DualCube(2)
+        vals = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=float)
+        heads = np.array([1, 0, 0, 1, 0, 1, 0, 0])
+        got = segmented_sum(dc, vals, heads)
+        assert list(got) == [1, 3, 6, 4, 9, 6, 13, 21]
+
+    def test_single_segment_is_plain_scan(self, rng):
+        dc = DualCube(2)
+        vals = rng.integers(0, 10, 8).astype(float)
+        heads = np.zeros(8, dtype=int)
+        heads[0] = 1
+        got = segmented_sum(dc, vals, heads)
+        assert np.allclose(got, np.cumsum(vals))
+
+    def test_every_position_a_head(self, rng):
+        dc = DualCube(2)
+        vals = rng.integers(0, 10, 8).astype(float)
+        got = segmented_sum(dc, vals, np.ones(8, dtype=int))
+        assert list(got) == list(vals)
+
+    def test_first_flag_required(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError, match="first element"):
+            segmented_sum(dc, np.ones(8), np.zeros(8, dtype=int))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 9), min_size=8, max_size=8),
+        st.lists(st.integers(0, 1), min_size=7, max_size=7),
+    )
+    def test_property_matches_serial(self, vals, tail_heads):
+        dc = DualCube(2)
+        heads = [1] + tail_heads
+        got = segmented_sum(dc, np.array(vals, dtype=float), np.array(heads))
+        acc = 0.0
+        for k in range(8):
+            acc = vals[k] if heads[k] else acc + vals[k]
+            assert got[k] == pytest.approx(acc)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import DualCube, Hypercube, RecursiveDualCube
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG; tests needing other streams seed locally."""
+    return np.random.default_rng(0xD0A1)
+
+
+@pytest.fixture(params=[1, 2, 3])
+def small_n(request):
+    """Dual-cube connectivities small enough for exhaustive checks."""
+    return request.param
+
+
+@pytest.fixture
+def dc(small_n):
+    return DualCube(small_n)
+
+
+@pytest.fixture
+def rdc(small_n):
+    return RecursiveDualCube(small_n)
+
+
+@pytest.fixture(params=[0, 1, 2, 3, 4])
+def cube(request):
+    return Hypercube(request.param)

@@ -1,0 +1,85 @@
+"""Tests for the D_prefix data arrangement (u -> u*)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrangement import arrange, arranged_index, arranged_index_v, dearrange
+from repro.topology import DualCube
+
+
+class TestArrangedIndex:
+    def test_class0_nodes_unchanged(self, dc):
+        for u in dc.nodes():
+            if dc.class_of(u) == 0:
+                assert arranged_index(dc, u) == u
+
+    def test_class1_nodes_swap_fields(self):
+        dc = DualCube(3)
+        u = dc.compose(1, 0b10, 0b01)
+        # u = (1, node=01, cluster=10); u* = (1, 10, 01) read as plain bits.
+        assert arranged_index(dc, u) == 0b1_10_01
+
+    def test_is_an_involution(self, dc):
+        for u in dc.nodes():
+            assert arranged_index(dc, arranged_index(dc, u)) == u
+
+    def test_is_a_bijection(self, dc):
+        images = [arranged_index(dc, u) for u in dc.nodes()]
+        assert sorted(images) == list(dc.nodes())
+
+    def test_vectorized_matches_scalar(self, dc):
+        got = arranged_index_v(dc)
+        assert list(got) == [arranged_index(dc, u) for u in dc.nodes()]
+
+    def test_consecutive_indices_within_every_cluster(self, dc):
+        """The property the algorithm needs (paper Section 3)."""
+        for cls in (0, 1):
+            for k in range(dc.clusters_per_class):
+                members = dc.cluster_members(cls, k)
+                held = sorted(arranged_index(dc, u) for u in members)
+                assert held == list(range(held[0], held[0] + len(members)))
+
+    def test_class_halves(self, dc):
+        half = dc.num_nodes // 2
+        for u in dc.nodes():
+            if dc.class_of(u) == 0:
+                assert arranged_index(dc, u) < half
+            else:
+                assert arranged_index(dc, u) >= half
+
+    def test_node_id_order_within_cluster(self):
+        dc = DualCube(3)
+        for cls in (0, 1):
+            for k in range(dc.clusters_per_class):
+                members = dc.cluster_members(cls, k)  # ordered by node ID
+                held = [arranged_index(dc, u) for u in members]
+                assert held == sorted(held)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6))
+    def test_bijection_any_n(self, n):
+        dc = DualCube(n)
+        idx = arranged_index_v(dc)
+        assert len(np.unique(idx)) == dc.num_nodes
+
+
+class TestArrangeDearrange:
+    def test_roundtrip(self, dc, rng):
+        vals = rng.integers(0, 100, dc.num_nodes)
+        assert list(dearrange(dc, arrange(dc, vals))) == list(vals)
+        assert list(arrange(dc, dearrange(dc, vals))) == list(vals)
+
+    def test_arrange_places_global_index(self, dc):
+        vals = np.arange(dc.num_nodes)
+        held = arrange(dc, vals)
+        for u in dc.nodes():
+            assert held[u] == arranged_index(dc, u)
+
+    def test_shape_validation(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            arrange(dc, np.arange(7))
+        with pytest.raises(ValueError):
+            dearrange(dc, np.arange(9))

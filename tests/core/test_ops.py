@@ -1,0 +1,107 @@
+"""Tests for the associative-operation algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ops import ADD, CONCAT, MATMUL2, MAX, MIN, MUL, AssocOp, combine_arrays
+
+SMALL_INTS = st.integers(min_value=-50, max_value=50)
+MAT = st.tuples(SMALL_INTS, SMALL_INTS, SMALL_INTS, SMALL_INTS)
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("op", [ADD, MUL, MIN, MAX, CONCAT, MATMUL2])
+    def test_identity_is_two_sided(self, op):
+        samples = {
+            "add": 7,
+            "mul": 7,
+            "min": 7,
+            "max": 7,
+            "concat": (1, 2),
+            "matmul2": (1, 2, 3, 4),
+        }
+        x = samples[op.name.split("-")[0]]
+        assert op(op.identity, x) == x
+        assert op(x, op.identity) == x
+
+    @given(SMALL_INTS, SMALL_INTS, SMALL_INTS)
+    def test_add_mul_min_max_associative(self, a, b, c):
+        for op in (ADD, MUL, MIN, MAX):
+            assert op(op(a, b), c) == op(a, op(b, c))
+
+    @given(MAT, MAT, MAT)
+    def test_matmul2_associative(self, a, b, c):
+        assert MATMUL2(MATMUL2(a, b), c) == MATMUL2(a, MATMUL2(b, c))
+
+    def test_matmul2_not_commutative(self):
+        a, b = (1, 1, 0, 1), (1, 0, 1, 1)
+        assert MATMUL2(a, b) != MATMUL2(b, a)
+
+    def test_concat_not_commutative(self):
+        assert CONCAT((1,), (2,)) != CONCAT((2,), (1,))
+
+    def test_reduce_folds_left(self):
+        assert CONCAT.reduce([(1,), (2,), (3,)]) == (1, 2, 3)
+        assert ADD.reduce([]) == 0
+
+    def test_call_applies_fn(self):
+        assert ADD(2, 3) == 5
+        assert MIN(2, 3) == 2
+
+
+class TestIdentityArray:
+    def test_numeric_ops_give_numeric_arrays(self):
+        arr = ADD.identity_array(4)
+        assert arr.dtype == np.int64
+        assert list(arr) == [0, 0, 0, 0]
+
+    def test_float_identity_gives_float_array(self):
+        arr = MIN.identity_array(3)
+        assert arr.dtype == np.float64
+        assert np.isinf(arr).all()
+
+    def test_object_ops_give_object_arrays(self):
+        arr = CONCAT.identity_array(3)
+        assert arr.dtype == object
+        assert list(arr) == [(), (), ()]
+
+
+class TestCombineArrays:
+    def test_ufunc_path(self):
+        a = np.array([1, 2, 3])
+        b = np.array([10, 20, 30])
+        assert list(combine_arrays(ADD, a, b)) == [11, 22, 33]
+
+    def test_object_path_preserves_order(self):
+        a = np.empty(2, dtype=object)
+        b = np.empty(2, dtype=object)
+        a[:] = [(1,), (2,)]
+        b[:] = [(3,), (4,)]
+        out = combine_arrays(CONCAT, a, b)
+        assert list(out) == [(1, 3), (2, 4)]
+
+    def test_mixed_object_falls_back(self):
+        a = np.empty(2, dtype=object)
+        a[:] = [(1,), (2,)]
+        b = np.empty(2, dtype=object)
+        b[:] = [(9,), (8,)]
+        out = combine_arrays(CONCAT, a, b)
+        assert out.dtype == object
+
+
+class TestCustomOp:
+    def test_custom_op_usable_end_to_end(self):
+        from repro import DualCube, dual_prefix
+
+        gcd = AssocOp("gcd", np.gcd, 0, ufunc=np.gcd, commutative=True)
+        dc = DualCube(2)
+        vals = np.array([12, 18, 24, 6, 9, 27, 36, 48])
+        out = dual_prefix(dc, vals, gcd)
+        expect = []
+        acc = 0
+        for v in vals:
+            acc = int(np.gcd(acc, v))
+            expect.append(acc)
+        assert list(out) == expect

@@ -1,0 +1,62 @@
+"""Tests for the sequential oracles and checkers."""
+
+import pytest
+
+from repro.core.ops import ADD, CONCAT
+from repro.core.verify import (
+    check_prefix,
+    check_sorted,
+    is_permutation_of,
+    sequential_prefix,
+)
+
+
+class TestSequentialPrefix:
+    def test_inclusive(self):
+        assert sequential_prefix([1, 2, 3], ADD) == [1, 3, 6]
+
+    def test_diminished(self):
+        assert sequential_prefix([1, 2, 3], ADD, inclusive=False) == [0, 1, 3]
+
+    def test_empty(self):
+        assert sequential_prefix([], ADD) == []
+
+    def test_non_commutative_order(self):
+        assert sequential_prefix([(1,), (2,)], CONCAT) == [(1,), (1, 2)]
+
+
+class TestCheckPrefix:
+    def test_accepts_correct(self):
+        check_prefix([1, 2, 3], [1, 3, 6], ADD)
+
+    def test_rejects_wrong_value(self):
+        with pytest.raises(AssertionError, match="index 2"):
+            check_prefix([1, 2, 3], [1, 3, 7], ADD)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(AssertionError, match="length"):
+            check_prefix([1, 2], [1], ADD)
+
+
+class TestCheckSorted:
+    def test_accepts_sorted(self):
+        check_sorted([1, 2, 2, 3])
+        check_sorted([3, 2, 2, 1], descending=True)
+        check_sorted([])
+        check_sorted([42])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(AssertionError, match="index 1"):
+            check_sorted([1, 5, 3])
+        with pytest.raises(AssertionError):
+            check_sorted([1, 2], descending=True)
+
+
+class TestIsPermutation:
+    def test_positive(self):
+        assert is_permutation_of([3, 1, 2], [1, 2, 3])
+        assert is_permutation_of([], [])
+
+    def test_negative(self):
+        assert not is_permutation_of([1, 1, 2], [1, 2, 2])
+        assert not is_permutation_of([1], [1, 1])

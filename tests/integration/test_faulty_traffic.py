@@ -1,0 +1,52 @@
+"""Integration: traffic experiments over degraded (faulty) networks."""
+
+import numpy as np
+import pytest
+
+from repro.routing.fault_tolerant import ft_route
+from repro.simulator.traffic import random_pairs, run_traffic
+from repro.topology import DualCube, FaultSet, FaultyTopology
+
+
+class TestFaultyTraffic:
+    def test_traffic_routes_around_faults(self, rng):
+        dc = DualCube(3)
+        fs = FaultSet.random(dc, 2, 0, rng)
+        ft = FaultyTopology(dc, fs)
+        healthy = ft.healthy_nodes()
+        pairs = []
+        while len(pairs) < 200:
+            u, v = rng.choice(healthy, 2, replace=False)
+            pairs.append((int(u), int(v)))
+        stats = run_traffic(ft, lambda u, v: ft_route(ft, u, v), pairs)
+        assert stats.num_pairs == 200
+        # Degraded network: average hops at or above the fault-free value.
+        fault_free = run_traffic(
+            dc,
+            lambda u, v: ft_route(FaultyTopology(dc, FaultSet()), u, v),
+            pairs,
+        )
+        assert stats.avg_hops >= fault_free.avg_hops
+
+    def test_link_loss_shifts_load_to_survivors(self, rng):
+        dc = DualCube(2)  # the 8-cycle: removing one link makes a line
+        u, v = 0, dc.neighbors(0)[0]
+        ft = FaultyTopology(dc, FaultSet(links=[(u, v)]))
+        pairs = random_pairs(8, 400, rng)
+        degraded = run_traffic(ft, lambda a, b: ft_route(ft, a, b), pairs)
+        healthy = run_traffic(
+            dc, lambda a, b: ft_route(FaultyTopology(dc, FaultSet()), a, b), pairs
+        )
+        assert degraded.max_link_load > healthy.max_link_load
+        assert degraded.loaded_links == 7  # one link dead
+
+    def test_traffic_rejects_paths_through_faults(self):
+        """run_traffic validates against the *faulty* view, so a router
+        ignoring faults is caught."""
+        dc = DualCube(2)
+        u, v = 0, dc.neighbors(0)[0]
+        ft = FaultyTopology(dc, FaultSet(links=[(u, v)]))
+        from repro.routing import route
+
+        with pytest.raises(ValueError, match="non-edge"):
+            run_traffic(ft, lambda a, b: route(dc, a, b), [(u, v)])

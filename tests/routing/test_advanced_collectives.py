@@ -1,0 +1,95 @@
+"""Tests for scatter / gather / allgather (experiment F2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrangement import arranged_index_v
+from repro.routing.advanced_collectives import (
+    allgather_engine,
+    collective_steps,
+    gather_engine,
+    scatter_engine,
+)
+from repro.topology import DualCube
+
+
+def arranged_order(dc, items):
+    return [items[u] for u in np.argsort(arranged_index_v(dc))]
+
+
+class TestScatter:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_every_node_gets_its_item(self, n):
+        dc = DualCube(n)
+        items = [f"item-{u}" for u in dc.nodes()]
+        roots = list(dc.nodes()) if n <= 2 else [0, 5, 16, 31]
+        for root in roots:
+            got, res = scatter_engine(dc, root, items)
+            assert got == items, (n, root)
+            assert res.comm_steps == collective_steps(n) == 2 * n
+
+    def test_steps_match_diameter(self):
+        for n in (2, 3):
+            assert collective_steps(n) == DualCube(n).diameter()
+
+    def test_payload_accounting(self):
+        dc = DualCube(2)
+        items = list(range(8))
+        _, res = scatter_engine(dc, 0, items)
+        # Every item reaches its destination; total payload is bounded by
+        # items times path length and at least one unit per non-root node.
+        assert res.counters.payload_items >= dc.num_nodes - 1
+
+    def test_root_validated(self):
+        with pytest.raises(ValueError):
+            scatter_engine(DualCube(2), 8, list(range(8)))
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            scatter_engine(DualCube(2), 0, list(range(7)))
+
+
+class TestGather:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_root_collects_everything(self, n):
+        dc = DualCube(n)
+        values = [u * 10 + 1 for u in dc.nodes()]
+        roots = list(dc.nodes()) if n <= 2 else [0, 7, 17, 31]
+        for root in roots:
+            collected, res = gather_engine(dc, root, values)
+            assert collected == values, (n, root)
+            assert res.comm_steps == 2 * n
+
+    def test_gather_is_inverse_of_scatter(self, rng):
+        dc = DualCube(2)
+        items = [int(x) for x in rng.integers(0, 100, 8)]
+        received, _ = scatter_engine(dc, 3, items)
+        collected, _ = gather_engine(dc, 3, received)
+        assert collected == items
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            gather_engine(DualCube(2), 0, list(range(9)))
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_everyone_gets_all_in_arranged_order(self, n):
+        dc = DualCube(n)
+        values = [f"v{u}" for u in dc.nodes()]
+        lists, res = allgather_engine(dc, values)
+        expected = arranged_order(dc, values)
+        assert all(lst == expected for lst in lists)
+        assert res.comm_steps == 2 * n
+
+    def test_payload_doubles_per_round(self):
+        dc = DualCube(3)
+        values = list(range(32))
+        _, res = allgather_engine(dc, values)
+        # Recursive doubling moves V*2n/2-ish items overall; the largest
+        # message carries half the data.
+        assert res.counters.max_message_payload == dc.num_nodes // 2
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            allgather_engine(DualCube(2), list(range(7)))

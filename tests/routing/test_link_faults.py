@@ -1,0 +1,64 @@
+"""Fault-tolerant routing under *link* failures (complements node faults)."""
+
+import numpy as np
+import pytest
+
+from repro.routing.fault_tolerant import adaptive_route, ft_route
+from repro.topology import DualCube, FaultSet, FaultyTopology
+
+
+class TestLinkFaultRouting:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_survives_n_minus_1_link_faults(self, n):
+        """Edge connectivity >= node connectivity = n, so n-1 dead links
+        never disconnect the network."""
+        dc = DualCube(n)
+        for trial in range(25):
+            rng = np.random.default_rng(77 * n + trial)
+            fs = FaultSet.random(dc, 0, n - 1, rng)
+            ft = FaultyTopology(dc, fs)
+            u, v = (int(x) for x in rng.choice(dc.num_nodes, 2, replace=False))
+            p = ft_route(ft, u, v)
+            assert p is not None, (fs, u, v)
+            for a, b in zip(p, p[1:]):
+                assert ft.has_edge(a, b)
+
+    def test_dead_cross_edge_forces_detour(self):
+        dc = DualCube(3)
+        u = dc.compose(0, 1, 2)
+        v = dc.cross_partner(u)
+        ft = FaultyTopology(dc, FaultSet(links=[(u, v)]))
+        p = ft_route(ft, u, v)
+        # The only cross-edge between u and v is dead; the detour must use
+        # another node's cross-edge: at least 3 hops.
+        assert p is not None
+        assert len(p) - 1 >= 3
+
+    def test_adaptive_handles_mixed_faults(self):
+        dc = DualCube(3)
+        rng = np.random.default_rng(5)
+        fs = FaultSet.random(dc, 1, 2, rng)
+        ft = FaultyTopology(dc, fs)
+        healthy = ft.healthy_nodes()
+        ok = 0
+        for trial in range(20):
+            t_rng = np.random.default_rng(trial)
+            u, v = (int(x) for x in t_rng.choice(healthy, 2, replace=False))
+            bfs = ft_route(ft, u, v)
+            if bfs is None:
+                continue
+            walk = adaptive_route(ft, dc, u, v)
+            assert walk is not None and walk[-1] == v
+            ok += 1
+        assert ok > 0
+
+    def test_stretch_bounded_by_component_size(self):
+        """Backtracking may walk long, but never beyond revisiting scope."""
+        dc = DualCube(2)
+        fs = FaultSet(links=[(0, 1)])
+        ft = FaultyTopology(dc, fs)
+        walk = adaptive_route(ft, dc, 0, 1)
+        assert walk is not None
+        assert walk[-1] == 1
+        # On the 8-cycle with one dead link the detour is the long way.
+        assert len(walk) - 1 == 7

@@ -1,0 +1,135 @@
+"""Tests for cost counters, payload sizing, and the trace recorder."""
+
+import pytest
+
+from repro.simulator import CostCounters, Packed, TraceRecorder
+from repro.simulator.counters import payload_size
+
+
+class TestPayloadSize:
+    def test_none_is_zero(self):
+        assert payload_size(None) == 0
+
+    def test_scalar_is_one(self):
+        assert payload_size(42) == 1
+        assert payload_size("key") == 1
+
+    def test_plain_tuples_are_single_values(self):
+        # A tuple *value* (e.g. a CONCAT partial result) is one item; only
+        # the explicit Packed container counts as a multi-key message.
+        assert payload_size((1, 2)) == 1
+        assert payload_size([1, 2, 3]) == 1
+
+    def test_packed_counts_items(self):
+        assert payload_size(Packed((1, 2))) == 2
+        assert payload_size(Packed(())) == 0
+        assert len(Packed((1, 2, 3))) == 3
+        assert Packed((1, 2)) == Packed((1, 2))
+        assert Packed((1, 2)) != Packed((2, 1))
+        assert Packed((1,)) != (1,)
+
+
+class TestCostCounters:
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            CostCounters(0)
+
+    def test_engine_side_recording(self):
+        c = CostCounters(4)
+        c.record_delivery(0, 1, "x")
+        c.record_delivery(2, 3, Packed((1, 2)))
+        c.record_cycle(deliveries=2)
+        c.record_cycle(deliveries=0)
+        assert c.cycles == 2
+        assert c.active_cycles == 1
+        assert c.messages == 2
+        assert c.payload_items == 3
+        assert c.max_message_payload == 2
+        assert list(c.sends) == [1, 0, 1, 0]
+        assert list(c.recvs) == [0, 1, 0, 1]
+
+    def test_compute_recording(self):
+        c = CostCounters(3)
+        c.record_compute(0, 2)
+        c.record_compute(0, 1)
+        c.record_compute(2, 5)
+        assert c.comp_steps == 2
+        assert c.max_node_ops == 5
+        assert c.total_ops == 8
+
+    def test_compute_rejects_negative_ops(self):
+        with pytest.raises(ValueError):
+            CostCounters(2).record_compute(0, -1)
+
+    def test_vectorized_side_recording(self):
+        c = CostCounters(8)
+        c.record_comm_step(messages=8)
+        c.record_comm_step(messages=4, payload_items=8, max_payload=2)
+        c.record_comp_step(ops_each=2)
+        c.record_comp_step(ops_each=1, ranks=[0, 1])
+        assert c.comm_steps == 2
+        assert c.messages == 12
+        assert c.payload_items == 16
+        assert c.max_message_payload == 2
+        assert c.comp_steps == 2  # ranks 0-1 did two rounds
+        assert c.max_node_ops == 3
+
+    def test_zero_message_step_not_active(self):
+        c = CostCounters(2)
+        c.record_comm_step(messages=0)
+        assert c.cycles == 1
+        assert c.active_cycles == 0
+
+    def test_summary_keys(self):
+        s = CostCounters(2).summary()
+        assert set(s) == {
+            "comm_steps",
+            "comp_steps",
+            "messages",
+            "payload_items",
+            "max_message_payload",
+            "max_node_ops",
+            "total_ops",
+        }
+
+    def test_repr_contains_summary(self):
+        assert "comm_steps=0" in repr(CostCounters(2))
+
+
+class TestTraceRecorder:
+    def test_record_and_snapshot(self):
+        t = TraceRecorder()
+        for r in range(4):
+            t.record("a", r, r * r)
+        assert t.labels() == ("a",)
+        assert t.snapshot("a", 4) == [0, 1, 4, 9]
+        assert t.depth("a") == 1
+
+    def test_record_array(self):
+        t = TraceRecorder()
+        t.record_array("x", [5, 6, 7])
+        assert t.snapshot("x", 3) == [5, 6, 7]
+
+    def test_series_in_order(self):
+        t = TraceRecorder()
+        t.record_array("x", [1, 2])
+        t.record_array("x", [3, 4])
+        assert t.series("x", 2) == [[1, 2], [3, 4]]
+        assert t.depth("x") == 2
+
+    def test_labels_preserve_first_seen_order(self):
+        t = TraceRecorder()
+        t.record("b", 0, 1)
+        t.record("a", 0, 1)
+        t.record("b", 0, 2)
+        assert t.labels() == ("b", "a")
+
+    def test_incomplete_snapshot_raises(self):
+        t = TraceRecorder()
+        t.record("x", 0, 1)
+        with pytest.raises(KeyError, match="rank 1"):
+            t.snapshot("x", 2)
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            TraceRecorder().snapshot("missing", 1)

@@ -1,0 +1,101 @@
+"""Tests for the random-traffic experiment module."""
+
+import numpy as np
+import pytest
+
+from repro.routing import route
+from repro.simulator.traffic import (
+    TrafficStats,
+    hypercube_dimension_order_path,
+    random_pairs,
+    run_traffic,
+)
+from repro.topology import DualCube, Hypercube
+
+
+class TestRandomPairs:
+    def test_count_and_range(self, rng):
+        pairs = random_pairs(32, 100, rng)
+        assert len(pairs) == 100
+        assert all(0 <= u < 32 and 0 <= v < 32 for u, v in pairs)
+
+    def test_excludes_self_by_default(self, rng):
+        pairs = random_pairs(4, 200, rng)
+        assert all(u != v for u, v in pairs)
+
+    def test_self_allowed_when_requested(self, rng):
+        pairs = random_pairs(2, 300, rng, exclude_self=False)
+        assert any(u == v for u, v in pairs)
+
+
+class TestDimensionOrderPath:
+    def test_fixes_bits_low_to_high(self):
+        assert hypercube_dimension_order_path(0b000, 0b101) == [0b000, 0b001, 0b101]
+
+    def test_trivial(self):
+        assert hypercube_dimension_order_path(5, 5) == [5]
+
+    def test_length_is_hamming(self, rng):
+        for _ in range(50):
+            u, v = rng.integers(0, 64, 2)
+            p = hypercube_dimension_order_path(int(u), int(v))
+            assert len(p) - 1 == bin(u ^ v).count("1")
+
+
+class TestRunTraffic:
+    def test_stats_on_known_batch(self):
+        cube = Hypercube(2)
+        # Dimension-order: 0 -> 1 -> 3 and 3 -> 2 -> 0 (bit 0 first), so
+        # the two routes use disjoint sides of the square.
+        pairs = [(0, 3), (3, 0)]
+        stats = run_traffic(cube, hypercube_dimension_order_path, pairs)
+        assert stats.num_pairs == 2
+        assert stats.total_hops == 4
+        assert stats.avg_hops == 2.0
+        assert stats.max_link_load == 1
+        assert stats.loaded_links == 4
+        assert stats.num_links == 4
+        # Same pair twice does collide.
+        stats2 = run_traffic(cube, hypercube_dimension_order_path, [(0, 3), (0, 3)])
+        assert stats2.max_link_load == 2
+
+    def test_dual_cube_router_validates(self, rng):
+        dc = DualCube(3)
+        pairs = random_pairs(32, 100, rng)
+        stats = run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+        assert stats.avg_hops <= dc.diameter()
+        assert stats.loaded_links <= stats.num_links == 48
+
+    def test_bad_router_endpoints_rejected(self):
+        cube = Hypercube(2)
+        with pytest.raises(ValueError, match="endpoints"):
+            run_traffic(cube, lambda u, v: [u, u ^ 1], [(0, 3)])
+
+    def test_non_edge_path_rejected(self):
+        cube = Hypercube(2)
+        with pytest.raises(ValueError, match="non-edge"):
+            run_traffic(cube, lambda u, v: [u, v], [(0, 3)])
+
+    def test_empty_batch(self):
+        stats = run_traffic(Hypercube(2), hypercube_dimension_order_path, [])
+        assert stats.avg_hops == 0.0
+        assert stats.max_link_load == 0
+        assert stats.load_imbalance == 0.0
+
+    def test_row_shape(self, rng):
+        dc = DualCube(2)
+        stats = run_traffic(
+            dc, lambda u, v: route(dc, u, v), random_pairs(8, 20, rng)
+        )
+        row = stats.row()
+        assert row[0] == "D_2"
+        assert len(row) == 7
+
+    def test_average_hops_tracks_average_distance(self, rng):
+        """Uniform traffic's mean hops converges to the mean distance."""
+        from repro.topology.metrics import average_distance
+
+        dc = DualCube(2)
+        pairs = random_pairs(8, 3000, rng)
+        stats = run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+        assert stats.avg_hops == pytest.approx(average_distance(dc), rel=0.1)

@@ -1,0 +1,177 @@
+"""Tests for the ASCII renderers and the command-line interface."""
+
+import pytest
+
+from repro.routing import route
+from repro.topology import DualCube, Hypercube
+from repro.viz import (
+    render_adjacency_matrix,
+    render_clusters,
+    render_key_grid,
+    render_route,
+)
+
+
+class TestAdjacencyArt:
+    def test_contains_every_edge(self):
+        cube = Hypercube(2)
+        art = render_adjacency_matrix(cube)
+        lines = art.splitlines()
+        assert len(lines) == 2 + 4
+        # Node 0's row: neighbors 1 and 2.
+        assert lines[2].split()[1:] == [".", "#", "#", "."]
+
+    def test_caps_size(self):
+        with pytest.raises(ValueError):
+            render_adjacency_matrix(DualCube(4))
+
+
+class TestClusterArt:
+    def test_shows_all_nodes_binary(self):
+        art = render_clusters(DualCube(2))
+        assert "class 0" in art and "class 1" in art
+        for u in range(8):
+            assert format(u, "03b") in art
+
+    def test_with_values(self):
+        art = render_clusters(DualCube(2), values=list("abcdefgh"))
+        assert "0:a" in art and "7:h" in art
+
+
+class TestRouteArt:
+    def test_annotates_hop_kinds(self):
+        dc = DualCube(3)
+        art = render_route(dc, route(dc, 0, 31))
+        assert "cross-edge" in art
+        assert "intra dim" in art
+        assert "(5 hops)" in art
+
+
+class TestKeyGrid:
+    def test_renders_rows(self):
+        art = render_key_grid([[1, 2, 3, 4]], ["step 0"], width=2)
+        lines = art.splitlines()
+        assert lines[0] == "step 0"
+        assert lines[1].strip() == "1 2"
+        assert lines[2].strip() == "3 4"
+
+    def test_validates_alignment(self):
+        with pytest.raises(ValueError):
+            render_key_grid([[1]], ["a", "b"])
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["info", "-n", "2"],
+            ["info", "-n", "2", "--layout"],
+            ["theorems", "--max-n", "4"],
+            ["prefix", "-n", "2", "--show", "4"],
+            ["sort", "-n", "2"],
+            ["route", "-n", "2", "0", "7"],
+            ["traffic", "-n", "2", "--pairs", "30"],
+            ["hamiltonian", "-n", "2"],
+            ["collectives", "-n", "2"],
+        ],
+    )
+    def test_commands_exit_zero(self, argv, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_info_output_facts(self, capsys):
+        from repro.cli import main
+
+        main(["info", "-n", "3"])
+        out = capsys.readouterr().out
+        assert "32 nodes" in out and "48 edges" in out and "diameter 6" in out
+
+    def test_theorems_table_values(self, capsys):
+        from repro.cli import main
+
+        main(["theorems", "--max-n", "3"])
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out and "Theorem 2" in out
+        assert "2.333" in out  # the n=3 sort ratio
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "info", "-n", "2"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "8 nodes" in proc.stdout
+
+    def test_version_flag(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_missing_command_errors(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+
+class TestVizIntegration:
+    def test_key_grid_renders_sort_trace(self, rng):
+        import numpy as np
+
+        from repro import RecursiveDualCube, TraceRecorder
+        from repro.core.dual_sort import dual_sort_vec
+
+        rdc = RecursiveDualCube(2)
+        trace = TraceRecorder()
+        dual_sort_vec(rdc, rng.permutation(8), trace=trace)
+        labels = list(trace.labels())
+        states = [trace.snapshot(l, 8) for l in labels]
+        art = render_key_grid(states, labels, width=8)
+        assert labels[0] in art
+        assert art.count("\n") >= 2 * len(labels) - 1
+
+    def test_cluster_art_matches_topology(self):
+        dc = DualCube(3)
+        art = render_clusters(dc)
+        # Title mentions both words once; then 2 class headers and 8
+        # cluster lines.
+        assert art.count("cluster") == 9
+        assert art.count("class") == 3
+        assert sum(1 for l in art.splitlines() if l.startswith("  cluster")) == 8
+
+    def test_adjacency_header_aligns(self):
+        from repro.topology import Hypercube
+
+        art = render_adjacency_matrix(Hypercube(3))
+        lines = art.splitlines()
+        assert len(lines) == 2 + 8
+        # Every body row has exactly q '#' marks (degree q).
+        for row in lines[2:]:
+            assert row.count("#") == 3
+
+    def test_route_art_trivial_route(self):
+        dc = DualCube(2)
+        art = render_route(dc, [5])
+        assert "(0 hops)" in art
+
+    def test_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "E99_demo.txt").write_text("Demo title\n")
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E99_demo" in out and "Demo title" in out
+
+    def test_report_subcommand_empty(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--dir", str(tmp_path / "none")]) == 1

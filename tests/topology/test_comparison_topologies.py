@@ -1,0 +1,143 @@
+"""Tests for the bounded-degree comparison topologies (paper Section 1)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    CubeConnectedCycles,
+    DeBruijn,
+    ShuffleExchange,
+    WrappedButterfly,
+    to_networkx,
+)
+
+
+class TestCCC:
+    @pytest.mark.parametrize("q", [3, 4, 5])
+    def test_shape(self, q):
+        ccc = CubeConnectedCycles(q)
+        assert ccc.num_nodes == q * 2**q
+        ccc.validate()
+        assert all(ccc.degree(u) == 3 for u in ccc.nodes())
+
+    def test_rejects_small_q(self):
+        with pytest.raises(ValueError):
+            CubeConnectedCycles(2)
+
+    def test_encode_decode_roundtrip(self):
+        ccc = CubeConnectedCycles(3)
+        for u in ccc.nodes():
+            x, p = ccc.decode(u)
+            assert ccc.encode(x, p) == u
+
+    def test_encode_validates(self):
+        ccc = CubeConnectedCycles(3)
+        with pytest.raises(ValueError):
+            ccc.encode(8, 0)
+        with pytest.raises(ValueError):
+            ccc.encode(0, 3)
+
+    def test_cycle_and_cube_edges(self):
+        ccc = CubeConnectedCycles(3)
+        x, p = 0b101, 1
+        u = ccc.encode(x, p)
+        nbrs = set(ccc.neighbors(u))
+        assert ccc.encode(x, 2) in nbrs  # cycle forward
+        assert ccc.encode(x, 0) in nbrs  # cycle backward
+        assert ccc.encode(x ^ 0b010, 1) in nbrs  # cube edge flips bit p
+
+    def test_connected(self):
+        assert nx.is_connected(to_networkx(CubeConnectedCycles(3)))
+
+
+class TestWrappedButterfly:
+    @pytest.mark.parametrize("q", [3, 4])
+    def test_shape(self, q):
+        bf = WrappedButterfly(q)
+        assert bf.num_nodes == q * 2**q
+        bf.validate()
+        assert all(bf.degree(u) == 4 for u in bf.nodes())
+
+    def test_rejects_small_q(self):
+        with pytest.raises(ValueError):
+            WrappedButterfly(2)
+
+    def test_encode_decode_roundtrip(self):
+        bf = WrappedButterfly(3)
+        for u in bf.nodes():
+            level, row = bf.decode(u)
+            assert bf.encode(level, row) == u
+
+    def test_edges_connect_adjacent_levels(self):
+        bf = WrappedButterfly(4)
+        for u in bf.nodes():
+            lu, _ = bf.decode(u)
+            for v in bf.neighbors(u):
+                lv, _ = bf.decode(v)
+                assert (lv - lu) % bf.q in (1, bf.q - 1)
+
+    def test_connected(self):
+        assert nx.is_connected(to_networkx(WrappedButterfly(3)))
+
+
+class TestDeBruijn:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_shape(self, q):
+        db = DeBruijn(q)
+        assert db.num_nodes == 2**q
+        db.validate()
+
+    def test_rejects_small_q(self):
+        with pytest.raises(ValueError):
+            DeBruijn(1)
+
+    def test_successors_are_shifts(self):
+        db = DeBruijn(4)
+        assert db.successors(0b0110) == (0b1100, 0b1101)
+        assert db.predecessors(0b0110) == (0b0011, 0b1011)
+
+    def test_degree_at_most_four_no_self_loops(self):
+        db = DeBruijn(4)
+        for u in db.nodes():
+            nbrs = db.neighbors(u)
+            assert len(nbrs) <= 4
+            assert u not in nbrs
+
+    def test_connected(self):
+        assert nx.is_connected(to_networkx(DeBruijn(4)))
+
+    def test_logarithmic_diameter(self):
+        from repro.topology.metrics import diameter
+
+        # Directed de Bruijn has diameter q; the undirected version <= q.
+        assert diameter(DeBruijn(4)) <= 4
+
+
+class TestShuffleExchange:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_shape(self, q):
+        se = ShuffleExchange(q)
+        assert se.num_nodes == 2**q
+        se.validate()
+
+    def test_rejects_small_q(self):
+        with pytest.raises(ValueError):
+            ShuffleExchange(1)
+
+    def test_rotations(self):
+        se = ShuffleExchange(4)
+        assert se.rotate_left(0b1001) == 0b0011
+        assert se.rotate_right(0b1001) == 0b1100
+        for u in se.nodes():
+            assert se.rotate_right(se.rotate_left(u)) == u
+
+    def test_degree_at_most_three(self):
+        se = ShuffleExchange(5)
+        for u in se.nodes():
+            nbrs = se.neighbors(u)
+            assert len(nbrs) <= 3
+            assert u not in nbrs
+            assert (u ^ 1) in nbrs
+
+    def test_connected(self):
+        assert nx.is_connected(to_networkx(ShuffleExchange(4)))

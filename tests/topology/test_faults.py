@@ -1,0 +1,97 @@
+"""Tests for the fault model."""
+
+import numpy as np
+import pytest
+
+from repro.topology import DualCube, FaultSet, FaultyTopology, Hypercube
+
+
+class TestFaultSet:
+    def test_empty(self):
+        fs = FaultSet()
+        assert fs.num_faults == 0
+        assert fs.node_ok(0)
+        assert fs.link_ok(0, 1)
+
+    def test_node_faults(self):
+        fs = FaultSet(nodes=[3, 5])
+        assert not fs.node_ok(3)
+        assert fs.node_ok(4)
+        assert not fs.link_ok(3, 4)  # incident links die with the node
+        assert fs.num_faults == 2
+
+    def test_link_faults_normalized(self):
+        fs = FaultSet(links=[(5, 2)])
+        assert not fs.link_ok(2, 5)
+        assert not fs.link_ok(5, 2)
+        assert fs.link_ok(2, 3)
+
+    def test_random_sampling(self):
+        dc = DualCube(3)
+        rng = np.random.default_rng(0)
+        fs = FaultSet.random(dc, 2, 3, rng)
+        assert len(fs.nodes) == 2
+        assert len(fs.links) == 3
+        for a, b in fs.links:
+            assert dc.has_edge(a, b)
+
+    def test_random_bounds(self):
+        dc = DualCube(2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            FaultSet.random(dc, 9, 0, rng)
+        with pytest.raises(ValueError):
+            FaultSet.random(dc, 0, 99, rng)
+
+
+class TestFaultyTopology:
+    def test_faulty_node_isolated(self):
+        dc = DualCube(2)
+        ft = FaultyTopology(dc, FaultSet(nodes=[0]))
+        assert ft.neighbors(0) == ()
+        for v in dc.neighbors(0):
+            assert 0 not in ft.neighbors(v)
+
+    def test_faulty_link_removed_both_sides(self):
+        dc = DualCube(2)
+        u = 0
+        v = dc.neighbors(0)[0]
+        ft = FaultyTopology(dc, FaultSet(links=[(u, v)]))
+        assert v not in ft.neighbors(u)
+        assert u not in ft.neighbors(v)
+        assert not ft.has_edge(u, v)
+        # Other links survive.
+        assert len(ft.neighbors(u)) == dc.degree(u) - 1
+
+    def test_healthy_nodes(self):
+        dc = DualCube(2)
+        ft = FaultyTopology(dc, FaultSet(nodes=[1, 6]))
+        assert ft.healthy_nodes() == [0, 2, 3, 4, 5, 7]
+
+    def test_invalid_faulty_link_rejected(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            FaultyTopology(dc, FaultSet(links=[(0, 3)]))  # not an edge
+
+    def test_invalid_faulty_node_rejected(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            FaultyTopology(dc, FaultSet(nodes=[99]))
+
+    def test_name_mentions_fault_count(self):
+        dc = DualCube(2)
+        ft = FaultyTopology(dc, FaultSet(nodes=[0], links=[(2, 3)]))
+        assert "faulty(2)" in ft.name
+
+    def test_zero_faults_is_identity_view(self):
+        dc = DualCube(3)
+        ft = FaultyTopology(dc, FaultSet())
+        for u in dc.nodes():
+            assert ft.neighbors(u) == dc.neighbors(u)
+
+    def test_metrics_work_on_faulty_view(self):
+        from repro.topology.metrics import diameter
+
+        cube = Hypercube(3)
+        ft = FaultyTopology(cube, FaultSet(links=[(0, 1)]))
+        assert diameter(ft) >= cube.diameter()

@@ -1,0 +1,67 @@
+"""Tests for the Hamiltonian cycle construction and ring embedding."""
+
+import pytest
+
+from repro.topology import RecursiveDualCube, hamiltonian_cycle, ring_embedding_dilation
+
+
+class TestHamiltonianCycle:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_visits_every_node_once(self, n):
+        cyc = hamiltonian_cycle(n)
+        rdc = RecursiveDualCube(n)
+        assert sorted(cyc) == list(rdc.nodes())
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_every_hop_is_an_edge(self, n):
+        rdc = RecursiveDualCube(n)
+        cyc = hamiltonian_cycle(n)
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert rdc.has_edge(a, b), (n, a, b)
+
+    def test_base_case_is_the_eight_cycle(self):
+        cyc = hamiltonian_cycle(2)
+        assert len(cyc) == 8
+        rdc = RecursiveDualCube(2)
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert rdc.has_edge(a, b)
+
+    def test_d1_rejected(self):
+        with pytest.raises(ValueError):
+            hamiltonian_cycle(1)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_cycle_contains_intra_edges_of_both_classes(self, n):
+        """The invariant the induction relies on."""
+        cyc = hamiltonian_cycle(n)
+        kinds = set()
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            if a & 1 == b & 1:
+                kinds.add(a & 1)
+        assert kinds == {0, 1}
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_cross_edge_usage_bounded(self, n):
+        """Cross edges form a perfect matching, so the cycle can use at
+        most half its hops on them."""
+        cyc = hamiltonian_cycle(n)
+        crosses = sum(
+            1 for a, b in zip(cyc, cyc[1:] + cyc[:1]) if (a ^ b) == 1
+        )
+        assert crosses <= len(cyc) // 2
+
+
+class TestRingEmbedding:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_hamiltonian_mapping_has_dilation_one(self, n):
+        rdc = RecursiveDualCube(n)
+        assert ring_embedding_dilation(rdc, hamiltonian_cycle(n)) == 1
+
+    def test_identity_mapping_has_larger_dilation(self):
+        rdc = RecursiveDualCube(3)
+        assert ring_embedding_dilation(rdc, list(rdc.nodes())) > 1
+
+    def test_mapping_must_be_permutation(self):
+        rdc = RecursiveDualCube(2)
+        with pytest.raises(ValueError):
+            ring_embedding_dilation(rdc, [0] * 8)

@@ -1,0 +1,106 @@
+"""Tests for the metacube generalization."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import DualCube, to_networkx
+from repro.topology.metacube import Metacube
+
+
+class TestShape:
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 2), (2, 1), (2, 2)])
+    def test_node_count(self, k, m):
+        mc = Metacube(k, m)
+        assert mc.num_nodes == 2 ** (k + m * 2**k)
+
+    @pytest.mark.parametrize("k,m", [(1, 1), (1, 2), (2, 1), (2, 2)])
+    def test_degree_is_k_plus_m(self, k, m):
+        mc = Metacube(k, m)
+        assert all(mc.degree(u) == k + m for u in mc.nodes())
+        assert mc.degree_formula == k + m
+
+    @pytest.mark.parametrize("k,m", [(1, 2), (2, 1), (2, 2)])
+    def test_structural_invariants(self, k, m):
+        Metacube(k, m).validate()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Metacube(0, 2)
+        with pytest.raises(ValueError):
+            Metacube(2, 0)
+        with pytest.raises(ValueError):
+            Metacube(3, 5)  # 2^(3 + 40) nodes: over the address cap
+
+    @pytest.mark.parametrize("k,m", [(1, 2), (2, 1), (2, 2)])
+    def test_edge_count_closed_form(self, k, m):
+        mc = Metacube(k, m)
+        assert len(list(mc.edges())) == mc.edge_count()
+
+
+class TestDualCubeSpecialization:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_mc1_equals_dual_cube_bit_for_bit(self, m):
+        mc = Metacube(1, m)
+        dc = DualCube(m + 1)
+        assert mc.num_nodes == dc.num_nodes
+        for u in dc.nodes():
+            assert set(mc.neighbors(u)) == set(dc.neighbors(u))
+
+    def test_mc1_fields_match_dual_cube_fields(self):
+        mc = Metacube(1, 2)
+        dc = DualCube(3)
+        for u in dc.nodes():
+            assert mc.class_of(u) == dc.class_of(u)
+            assert mc.node_id(u) == dc.node_id(u)
+
+
+class TestAddressing:
+    def test_active_field_selected_by_class(self):
+        mc = Metacube(2, 2)
+        # class 3 -> field 3 is the active one (bits 6-7).
+        u = (3 << 8) | (0b01 << 6)
+        assert mc.class_of(u) == 3
+        assert mc.node_id(u) == 0b01
+        assert list(mc.cluster_dimensions(u)) == [6, 7]
+
+    def test_cross_dimensions_shared(self):
+        mc = Metacube(2, 2)
+        assert list(mc.cross_dimensions()) == [8, 9]
+        for u in (0, 100, 1023):
+            for d in mc.cross_dimensions():
+                assert mc.has_dimension_link(u, d)
+
+    def test_field_bounds(self):
+        mc = Metacube(2, 2)
+        with pytest.raises(ValueError):
+            mc.field(0, 4)
+
+    def test_cluster_key_partitions(self):
+        mc = Metacube(2, 1)
+        groups = {}
+        for u in mc.nodes():
+            groups.setdefault(mc.cluster_key(u), []).append(u)
+        # 2^k classes x 2^(m*(2^k - 1)) clusters, each of size 2^m.
+        assert len(groups) == 4 * 8
+        assert all(len(g) == 2 for g in groups.values())
+        # Intra-cluster pairs are adjacent (clusters are m-cubes).
+        for members in groups.values():
+            a, b = members
+            assert mc.has_edge(a, b)
+
+
+class TestConnectivityAndDistance:
+    def test_connected(self):
+        assert nx.is_connected(to_networkx(Metacube(2, 1)))
+
+    def test_no_edges_between_clusters_of_same_class_directly(self):
+        mc = Metacube(2, 1)
+        for u, v in mc.edges():
+            if mc.class_of(u) == mc.class_of(v):
+                assert mc.cluster_key(u) == mc.cluster_key(v)
+
+    def test_scalability_table_values(self):
+        # The degree-vs-size scaling that motivates the family:
+        assert Metacube(2, 3).num_nodes == 16384  # degree 5
+        assert Metacube(2, 3).degree_formula == 5
+        assert DualCube(8).num_nodes == 32768  # degree 8

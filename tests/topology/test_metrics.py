@@ -1,0 +1,104 @@
+"""Tests for the metrics engine, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology import (
+    DualCube,
+    Hypercube,
+    ShuffleExchange,
+    measure,
+    to_networkx,
+)
+from repro.topology.base import Topology
+from repro.topology.metrics import (
+    adjacency_csr,
+    average_distance,
+    bfs_distances,
+    cost_metric,
+    degree_stats,
+    diameter,
+    edge_count,
+)
+
+
+class TestAdjacency:
+    def test_csr_matches_neighbor_lists(self):
+        dc = DualCube(3)
+        adj = adjacency_csr(dc)
+        for u in dc.nodes():
+            row = adj[[u], :].toarray().ravel()
+            assert set(np.flatnonzero(row)) == set(dc.neighbors(u))
+
+    def test_csr_is_symmetric(self):
+        adj = adjacency_csr(DualCube(2))
+        assert (adj - adj.T).nnz == 0
+
+
+class TestDistances:
+    def test_bfs_matches_networkx(self):
+        dc = DualCube(3)
+        g = to_networkx(dc)
+        dist = bfs_distances(dc, [0, 5, 17])
+        for row, src in zip(dist, (0, 5, 17)):
+            nxd = nx.single_source_shortest_path_length(g, src)
+            assert [int(x) for x in row] == [nxd[v] for v in dc.nodes()]
+
+    @pytest.mark.parametrize("topo", [Hypercube(4), DualCube(2), ShuffleExchange(4)])
+    def test_diameter_matches_networkx(self, topo):
+        assert diameter(topo) == nx.diameter(to_networkx(topo))
+
+    def test_average_distance_matches_networkx(self):
+        topo = DualCube(2)
+        got = average_distance(topo)
+        assert got == pytest.approx(nx.average_shortest_path_length(to_networkx(topo)))
+
+    def test_disconnected_graph_raises(self):
+        class TwoIslands(Topology):
+            @property
+            def num_nodes(self):
+                return 4
+
+            def neighbors(self, u):
+                self.check_node(u)
+                return (u ^ 1,)
+
+        with pytest.raises(ValueError, match="disconnected"):
+            diameter(TwoIslands())
+
+
+class TestSummaries:
+    def test_degree_stats(self):
+        lo, hi, mean = degree_stats(DualCube(3))
+        assert lo == hi == 3
+        assert mean == 3.0
+
+    def test_edge_count_matches_edges_iter(self):
+        dc = DualCube(3)
+        assert edge_count(dc) == len(list(dc.edges()))
+
+    def test_cost_metric(self):
+        assert cost_metric(3, 6) == 18
+
+    def test_measure_row(self):
+        m = measure(DualCube(2))
+        assert m.name == "D_2"
+        assert m.num_nodes == 8
+        assert m.num_edges == 8
+        assert m.max_degree == 2
+        assert m.diameter == 4
+        assert m.cost == 8
+        row = m.row()
+        assert row[0] == "D_2"
+        assert row[-1] == 8
+
+    def test_measure_validates_paper_shape_claims(self):
+        # Dual-cube vs same-size hypercube: half the degree, diameter + 1.
+        for n in (2, 3):
+            md = measure(DualCube(n))
+            mq = measure(Hypercube(2 * n - 1))
+            assert md.num_nodes == mq.num_nodes
+            assert md.max_degree == n
+            assert mq.max_degree == 2 * n - 1
+            assert md.diameter == mq.diameter + 1

@@ -1,0 +1,198 @@
+"""Tests for the recursive presentation and its isomorphism (paper Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    DualCube,
+    RecursiveDualCube,
+    recursive_to_standard,
+    standard_to_recursive,
+)
+
+
+class TestShape:
+    @pytest.mark.parametrize("n", range(1, 6))
+    def test_same_size_as_standard(self, n):
+        assert RecursiveDualCube(n).num_nodes == DualCube(n).num_nodes
+
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_structural_invariants(self, n):
+        RecursiveDualCube(n).validate()
+
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_degree_is_n(self, n):
+        r = RecursiveDualCube(n)
+        assert all(r.degree(u) == n for u in r.nodes())
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            RecursiveDualCube(0)
+
+    def test_d1_is_k2(self):
+        r = RecursiveDualCube(1)
+        assert r.neighbors(0) == (1,)
+        assert r.neighbors(1) == (0,)
+
+
+class TestDimensionRule:
+    def test_class_is_bit_zero(self, rdc):
+        for u in rdc.nodes():
+            assert rdc.class_of(u) == u & 1
+
+    def test_dimension_zero_always_direct(self, rdc):
+        for u in rdc.nodes():
+            assert rdc.has_dimension_link(u, 0)
+
+    def test_even_dims_belong_to_class0_odd_to_class1(self):
+        r = RecursiveDualCube(3)
+        for u in r.nodes():
+            for d in range(1, r.num_dimensions):
+                expected = (d % 2 == 0) == (u & 1 == 0)
+                assert r.has_dimension_link(u, d) == expected, (u, d)
+
+    def test_cluster_dimensions_count(self, rdc):
+        for u in rdc.nodes():
+            assert len(list(rdc.cluster_dimensions(u))) == rdc.n - 1
+
+    def test_partner_same_class_for_positive_dims(self):
+        r = RecursiveDualCube(3)
+        for u in r.nodes():
+            for d in range(1, r.num_dimensions):
+                assert (u ^ (1 << d)) & 1 == u & 1
+
+
+class TestIsomorphism:
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_mapping_is_a_bijection(self, n):
+        dc = DualCube(n)
+        images = [standard_to_recursive(n, u) for u in dc.nodes()]
+        assert sorted(images) == list(dc.nodes())
+
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_roundtrip(self, n):
+        dc = DualCube(n)
+        for u in dc.nodes():
+            assert recursive_to_standard(n, standard_to_recursive(n, u)) == u
+            assert standard_to_recursive(n, recursive_to_standard(n, u)) == u
+
+    @pytest.mark.parametrize("n", range(1, 5))
+    def test_edges_preserved_both_ways(self, n):
+        dc = DualCube(n)
+        r = RecursiveDualCube(n)
+        f = [standard_to_recursive(n, u) for u in dc.nodes()]
+        for u in dc.nodes():
+            mapped = {f[v] for v in dc.neighbors(u)}
+            assert mapped == set(r.neighbors(f[u])), u
+
+    @pytest.mark.parametrize("n", range(1, 4))
+    def test_class_preserved(self, n):
+        dc = DualCube(n)
+        r = RecursiveDualCube(n)
+        for u in dc.nodes():
+            assert dc.class_of(u) == r.class_of(standard_to_recursive(n, u))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**9 - 1), st.integers(0, 2**9 - 1))
+    def test_distance_preserved_n5(self, ru, rv):
+        r = RecursiveDualCube(5)
+        dc = DualCube(5)
+        assert r.distance(ru, rv) == dc.distance(
+            recursive_to_standard(5, ru), recursive_to_standard(5, rv)
+        )
+
+
+class TestEmulationPaths:
+    def test_direct_dims_give_two_node_paths(self, rdc):
+        for u in rdc.nodes():
+            for d in rdc.dimensions():
+                if rdc.has_dimension_link(u, d):
+                    assert rdc.emulation_path(u, d) == (u, u ^ (1 << d))
+                    assert rdc.exchange_hops(u, d) == 1
+
+    def test_unsupported_dims_give_three_hop_walks(self):
+        r = RecursiveDualCube(3)
+        for u in r.nodes():
+            for d in r.dimensions():
+                path = r.emulation_path(u, d)
+                assert path[0] == u
+                assert path[-1] == u ^ (1 << d)
+                for a, b in zip(path, path[1:]):
+                    assert r.has_edge(a, b), (u, d, path)
+                if not r.has_dimension_link(u, d):
+                    assert len(path) == 4
+                    assert r.exchange_hops(u, d) == 3
+                    # cross, intra (opposite class), cross
+                    assert path[1] == u ^ 1
+                    assert path[2] == u ^ 1 ^ (1 << d)
+
+    def test_exactly_half_the_nodes_are_unsupported_per_high_dim(self):
+        r = RecursiveDualCube(4)
+        for d in range(1, r.num_dimensions):
+            unsupported = sum(
+                0 if r.has_dimension_link(u, d) else 1 for u in r.nodes()
+            )
+            assert unsupported == r.num_nodes // 2
+
+
+class TestRecursiveConstruction:
+    def test_base_case_has_no_subcubes(self):
+        r = RecursiveDualCube(1)
+        with pytest.raises(ValueError):
+            r.subcube_index(0)
+        with pytest.raises(ValueError):
+            r.subcube_members(0)
+        with pytest.raises(ValueError):
+            r.sub_dual_cube()
+        with pytest.raises(ValueError):
+            r.joining_edges()
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_four_contiguous_copies(self, n):
+        r = RecursiveDualCube(n)
+        size = r.num_nodes // 4
+        for i in range(4):
+            members = r.subcube_members(i)
+            assert len(members) == size
+            assert all(r.subcube_index(u) == i for u in members)
+
+    def test_subcube_index_bounds(self):
+        r = RecursiveDualCube(2)
+        with pytest.raises(ValueError):
+            r.subcube_members(4)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_copies_are_isomorphic_to_smaller_dual_cube(self, n):
+        r = RecursiveDualCube(n)
+        sub = r.sub_dual_cube()
+        assert sub.n == n - 1
+        size = sub.num_nodes
+        for i in range(4):
+            base = i * size
+            for a in range(size):
+                # Within-copy adjacency equals the D_{n-1} adjacency.
+                nbrs_in_copy = {
+                    v - base
+                    for v in r.neighbors(base + a)
+                    if base <= v < base + size
+                }
+                assert nbrs_in_copy == set(sub.neighbors(a)), (n, i, a)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_joining_edges_complete_the_edge_set(self, n):
+        r = RecursiveDualCube(n)
+        size = r.num_nodes // 4
+        internal = {
+            (u, v) for u, v in r.edges() if u // size == v // size
+        }
+        joining = set(r.joining_edges())
+        assert internal | joining == set(r.edges())
+        assert internal.isdisjoint(joining)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_joining_edges_use_only_top_two_dimensions(self, n):
+        r = RecursiveDualCube(n)
+        top = {r.num_dimensions - 1, r.num_dimensions - 2}
+        for u, v in r.joining_edges():
+            assert (u ^ v).bit_length() - 1 in top
