@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench-smoke bench
+
+## check: tier-1 test suite + bench smoke run (what CI gates on)
+check: test bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke --out BENCH_smoke.json
+
+## bench: full sweep, refreshes BENCH_core.json at the repo root
+bench:
+	$(PYTHON) -m repro bench

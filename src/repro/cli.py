@@ -198,6 +198,59 @@ def _cmd_collectives(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import (
+        compare_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    payload = run_bench(
+        max_n=args.max_n,
+        repeats=args.repeats,
+        smoke=args.smoke,
+        seed=args.seed,
+    )
+    rows = [
+        (
+            r["bench"],
+            r["backend"],
+            r["n"],
+            r["num_nodes"],
+            f"{r['wall_s'] * 1000:.3f}",
+            r["comm_steps"],
+            r["comp_steps"],
+            r["messages"],
+            r["max_message_payload"],
+        )
+        for r in payload["records"]
+    ]
+    print(
+        format_table(
+            ["bench", "backend", "n", "nodes", "wall ms", "comm", "comp", "msgs", "peak payload"],
+            rows,
+            title="repro bench" + (" (smoke)" if args.smoke else ""),
+        )
+    )
+    out = args.out or ("BENCH_smoke.json" if args.smoke else "BENCH_core.json")
+    path = write_bench(payload, out)
+    print(f"wrote {path} ({len(payload['records'])} records)")
+
+    if args.compare:
+        previous = load_bench(args.compare)
+        problems = compare_bench(
+            payload, previous, wall_factor=args.wall_factor
+        )
+        if problems:
+            print(f"\nREGRESSIONS vs {args.compare}:")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        print(f"no regressions vs {args.compare}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -264,6 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("collectives", help="cycle-accurate collective costs")
     sp.add_argument("-n", type=int, default=3)
     sp.set_defaults(fn=_cmd_collectives)
+
+    sp = sub.add_parser(
+        "bench", help="timed core benchmarks -> BENCH_core.json (+ regression check)"
+    )
+    sp.add_argument("--max-n", type=int, default=5, help="largest dual-cube n (from 2)")
+    sp.add_argument("--repeats", type=int, default=3, help="wallclock best-of repeats")
+    sp.add_argument(
+        "--smoke", action="store_true", help="quick wiring check (n<=3, 1 repeat)"
+    )
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--out", default=None, help="output path (default BENCH_core.json; smoke: BENCH_smoke.json)"
+    )
+    sp.add_argument(
+        "--compare", default=None, metavar="PREV_JSON",
+        help="regression-check against a previous bench file (exit 1 on regression)",
+    )
+    sp.add_argument(
+        "--wall-factor", type=float, default=1.5,
+        help="allowed wallclock slowdown factor for --compare",
+    )
+    sp.set_defaults(fn=_cmd_bench)
 
     sp = sub.add_parser("report", help="list regenerated experiment artifacts")
     sp.add_argument("--dir", default="benchmarks/out")

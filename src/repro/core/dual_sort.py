@@ -147,13 +147,20 @@ def _check_policy(payload_policy: str) -> None:
 
 
 def _compare_exchange_program(
-    ctx, topo: DimensionedTopology, step: ScheduleStep, key, payload_policy: str
+    ctx,
+    topo: DimensionedTopology,
+    step: ScheduleStep,
+    key,
+    payload_policy: str,
+    mode: str | None = None,
 ):
     """One compare-exchange round at one node (generator phase; returns the kept key)."""
     u = ctx.rank
     j = step.dim
     partner = u ^ (1 << j)
-    if _dim_mode(topo, j) == "direct":
+    if mode is None:
+        mode = _dim_mode(topo, j)
+    if mode == "direct":
         got = yield SendRecv(partner, key)
     elif topo.has_dimension_link(u, j):
         # Supported side: relay for the cross neighbor while exchanging.
@@ -199,12 +206,16 @@ def execute_schedule_engine(
             f"expected {topo.num_nodes} keys for {topo.name}, got {len(vals)}"
         )
 
+    # Dimension modes depend only on (topo, dim); hoist them out of the
+    # per-node per-step hot path.
+    modes = {d: _dim_mode(topo, d) for d in {s.dim for s in schedule}}
+
     def program(ctx):
         key = vals[ctx.rank]
         ctx.record("input", key)
         for k, step in enumerate(schedule):
             key = yield from _compare_exchange_program(
-                ctx, topo, step, key, payload_policy
+                ctx, topo, step, key, payload_policy, modes[step.dim]
             )
             ctx.record(f"step {k:03d} dim {step.dim} [{step.phase}]", key)
         return key

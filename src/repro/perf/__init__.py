@@ -1,0 +1,26 @@
+"""Persistent performance harness (``repro bench``).
+
+Times the library's headline algorithms — `D_prefix` (both backends),
+`D_sort` (both backends), the blocked large-input variants, and the
+random-traffic experiment — across a range of network sizes and writes a
+machine-readable ``BENCH_core.json`` so every change leaves a measured
+perf trajectory behind (wallclock, comm/comp steps, messages, peak
+payload).  ``compare_bench`` turns two such files into a regression
+check: cost counters must match exactly, wallclock within a factor.
+"""
+
+from repro.perf.bench import (
+    BenchRecord,
+    compare_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BenchRecord",
+    "compare_bench",
+    "load_bench",
+    "run_bench",
+    "write_bench",
+]

@@ -1,0 +1,300 @@
+"""Timed benchmark suite behind the ``repro bench`` CLI subcommand.
+
+Every benchmark runs the real algorithm with a fresh
+:class:`~repro.simulator.counters.CostCounters` ledger and reports both
+the measured step/message costs (deterministic — they double as a
+correctness fingerprint) and the best-of-``repeats`` wallclock.  Records
+go into a flat JSON document written at the repo root by default
+(``BENCH_core.json``; ``BENCH_smoke.json`` for ``--smoke`` runs) so perf
+history can be diffed and regression-checked with ``--compare``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.dual_prefix import dual_prefix_engine, dual_prefix_vec
+from repro.core.dual_sort import dual_sort_engine, dual_sort_vec
+from repro.core.large_inputs import large_prefix, large_sort
+from repro.core.ops import ADD
+from repro.routing.dualcube_routing import route
+from repro.simulator import CostCounters
+from repro.simulator.traffic import random_pairs, run_traffic
+from repro.topology.dualcube import DualCube
+from repro.topology.recursive import RecursiveDualCube
+
+__all__ = [
+    "BenchRecord",
+    "run_bench",
+    "write_bench",
+    "load_bench",
+    "compare_bench",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+# Cost fields that must reproduce exactly between runs (they are
+# deterministic functions of the algorithm, not the machine).
+_EXACT_FIELDS = (
+    "comm_steps",
+    "comp_steps",
+    "messages",
+    "payload_items",
+    "max_message_payload",
+)
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One (benchmark, backend, n) measurement."""
+
+    bench: str
+    backend: str
+    n: int
+    num_nodes: int
+    wall_s: float
+    comm_steps: int
+    comp_steps: int
+    messages: int
+    payload_items: int
+    max_message_payload: int
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.bench, self.backend, self.n)
+
+
+def _time_best(fn: Callable[[], CostCounters], repeats: int) -> tuple[float, CostCounters]:
+    """Best-of-``repeats`` wallclock; counters from the final run."""
+    best = float("inf")
+    counters: CostCounters | None = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        counters = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    assert counters is not None
+    return best, counters
+
+
+def _from_counters(
+    bench: str, backend: str, n: int, num_nodes: int, wall: float, c: CostCounters
+) -> BenchRecord:
+    s = c.summary()
+    return BenchRecord(
+        bench=bench,
+        backend=backend,
+        n=n,
+        num_nodes=num_nodes,
+        wall_s=wall,
+        comm_steps=s["comm_steps"],
+        comp_steps=s["comp_steps"],
+        messages=s["messages"],
+        payload_items=s["payload_items"],
+        max_message_payload=s["max_message_payload"],
+    )
+
+
+def _bench_dual_prefix(n: int, backend: str, rng, repeats: int) -> BenchRecord:
+    dc = DualCube(n)
+    vals = rng.integers(0, 1000, dc.num_nodes)
+
+    if backend == "vectorized":
+
+        def run() -> CostCounters:
+            counters = CostCounters(dc.num_nodes)
+            dual_prefix_vec(dc, vals, ADD, counters=counters)
+            return counters
+
+    else:
+
+        def run() -> CostCounters:
+            _, result = dual_prefix_engine(dc, vals, ADD)
+            return result.counters
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters("dual_prefix", backend, n, dc.num_nodes, wall, counters)
+
+
+def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
+    rdc = RecursiveDualCube(n)
+    keys = rng.permutation(rdc.num_nodes)
+
+    if backend == "vectorized":
+
+        def run() -> CostCounters:
+            counters = CostCounters(rdc.num_nodes)
+            dual_sort_vec(rdc, keys, counters=counters)
+            return counters
+
+    else:
+
+        def run() -> CostCounters:
+            _, result = dual_sort_engine(rdc, keys)
+            return result.counters
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters("dual_sort", backend, n, rdc.num_nodes, wall, counters)
+
+
+def _bench_large_prefix(n: int, block: int, rng, repeats: int) -> BenchRecord:
+    dc = DualCube(n)
+    vals = rng.integers(0, 1000, dc.num_nodes * block)
+
+    def run() -> CostCounters:
+        counters = CostCounters(dc.num_nodes)
+        large_prefix(dc, vals, ADD, counters=counters)
+        return counters
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters(
+        f"large_prefix_b{block}", "vectorized", n, dc.num_nodes, wall, counters
+    )
+
+
+def _bench_large_sort(n: int, block: int, rng, repeats: int) -> BenchRecord:
+    rdc = RecursiveDualCube(n)
+    keys = rng.permutation(rdc.num_nodes * block)
+
+    def run() -> CostCounters:
+        counters = CostCounters(rdc.num_nodes)
+        large_sort(rdc, keys, counters=counters)
+        return counters
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters(
+        f"large_sort_b{block}", "vectorized", n, rdc.num_nodes, wall, counters
+    )
+
+
+def _bench_traffic(n: int, pairs_per_node: int, rng, repeats: int) -> BenchRecord:
+    dc = DualCube(n)
+    pairs = random_pairs(dc.num_nodes, pairs_per_node * dc.num_nodes, rng)
+
+    stats_box = {}
+
+    def run() -> CostCounters:
+        stats_box["stats"] = run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+        # Traffic has no lockstep ledger; express its volume in the same
+        # schema: one message per hop, single-key payloads.
+        counters = CostCounters(dc.num_nodes)
+        counters.messages = stats_box["stats"].total_hops
+        counters.payload_items = stats_box["stats"].total_hops
+        counters.max_message_payload = 1 if pairs else 0
+        return counters
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters("run_traffic", "router", n, dc.num_nodes, wall, counters)
+
+
+def run_bench(
+    *,
+    max_n: int = 5,
+    repeats: int = 3,
+    smoke: bool = False,
+    seed: int = 0,
+    block: int = 8,
+    pairs_per_node: int = 4,
+) -> dict:
+    """Run the core suite and return the JSON-ready payload.
+
+    ``smoke`` caps the sweep at n=3 with a single repeat — a wiring check
+    cheap enough for CI, not a measurement.
+    """
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    if smoke:
+        max_n = min(max_n, 3)
+        repeats = 1
+
+    records: list[BenchRecord] = []
+    for n in range(2, max_n + 1):
+        rng = np.random.default_rng(seed + n)
+        records.append(_bench_dual_prefix(n, "vectorized", rng, repeats))
+        records.append(_bench_dual_prefix(n, "engine", rng, repeats))
+        records.append(_bench_dual_sort(n, "vectorized", rng, repeats))
+        records.append(_bench_dual_sort(n, "engine", rng, repeats))
+        records.append(_bench_large_prefix(n, block, rng, repeats))
+        records.append(_bench_large_sort(n, block, rng, repeats))
+        records.append(_bench_traffic(n, pairs_per_node, rng, repeats))
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "core",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "seed": seed,
+        "records": [asdict(r) for r in records],
+    }
+
+
+def write_bench(payload: dict, path: str | Path) -> Path:
+    """Write a bench payload as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load a bench payload, checking the schema version."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return payload
+
+
+def compare_bench(
+    current: dict, previous: dict, *, wall_factor: float = 1.5
+) -> list[str]:
+    """Regression-check ``current`` against ``previous``.
+
+    Returns a list of human-readable problems (empty = clean):
+
+    * any cost-counter field differing on a shared (bench, backend, n)
+      key — these are deterministic, so a difference is a semantic change;
+    * wallclock more than ``wall_factor`` times the previous value;
+    * records present previously but missing now (dropped coverage).
+
+    Records that are new in ``current`` are fine (coverage grew).
+    """
+    if wall_factor <= 0:
+        raise ValueError(f"wall_factor must be positive, got {wall_factor}")
+    cur = {(r["bench"], r["backend"], r["n"]): r for r in current["records"]}
+    prev = {(r["bench"], r["backend"], r["n"]): r for r in previous["records"]}
+
+    problems: list[str] = []
+    for key in sorted(prev):
+        label = "{}/{} n={}".format(*key)
+        if key not in cur:
+            problems.append(f"{label}: record disappeared from current run")
+            continue
+        c, p = cur[key], prev[key]
+        for field in _EXACT_FIELDS:
+            if c[field] != p[field]:
+                problems.append(
+                    f"{label}: {field} changed {p[field]} -> {c[field]} "
+                    f"(cost counters must reproduce exactly)"
+                )
+        if p["wall_s"] > 0 and c["wall_s"] > p["wall_s"] * wall_factor:
+            problems.append(
+                f"{label}: wallclock regressed "
+                f"{p['wall_s']:.6f}s -> {c['wall_s']:.6f}s "
+                f"(> {wall_factor:.2f}x)"
+            )
+    return problems

@@ -27,7 +27,7 @@ from repro.simulator.counters import CostCounters, Packed
 from repro.simulator.message import Message
 from repro.simulator.node import NodeCtx
 from repro.simulator.trace import TraceRecorder
-from repro.simulator.engine import Engine, EngineResult, run_spmd
+from repro.simulator.engine import Engine, EngineResult, run_spmd, use_matching
 
 __all__ = [
     "SimulationError",
@@ -47,4 +47,5 @@ __all__ = [
     "Engine",
     "EngineResult",
     "run_spmd",
+    "use_matching",
 ]

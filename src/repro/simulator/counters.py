@@ -133,15 +133,43 @@ class CostCounters:
         """One lockstep computation round performed in bulk.
 
         ``ranks`` limits the round to a subset of nodes (array/sequence of
-        rank indices); by default every node participates.
+        rank indices); by default every node participates.  A rank listed
+        k times is charged k rounds (``np.add.at`` — buffered fancy-index
+        ``+=`` would silently collapse duplicates).
         """
         if ranks is None:
             self._comp_calls += 1
             self._comp_ops += ops_each
         else:
             idx = np.asarray(ranks, dtype=np.int64)
-            self._comp_calls[idx] += 1
-            self._comp_ops[idx] += ops_each
+            np.add.at(self._comp_calls, idx, 1)
+            np.add.at(self._comp_ops, idx, ops_each)
+
+    def record_bulk(
+        self,
+        *,
+        cycles: int,
+        active_cycles: int,
+        messages: int,
+        payload_items: int,
+        max_message_payload: int,
+        sends,
+        recvs,
+    ) -> None:
+        """Flush tallies accumulated outside the ledger (engine fast mode).
+
+        The engine's fast path counts deliveries in plain Python scalars
+        and per-node lists, then merges them here in one shot; the final
+        ledger state is identical to per-event recording.
+        """
+        self.cycles += cycles
+        self.active_cycles += active_cycles
+        self.messages += messages
+        self.payload_items += payload_items
+        if max_message_payload > self.max_message_payload:
+            self.max_message_payload = max_message_payload
+        self.sends += np.asarray(sends, dtype=np.int64)
+        self.recvs += np.asarray(recvs, dtype=np.int64)
 
     # -- derived quantities ----------------------------------------------------
 

@@ -24,14 +24,38 @@ pending raises :class:`DeadlockError`; asymmetric pairs (``Send`` facing
 ``Send``, ``SendRecv`` facing bare ``Recv``) deadlock deliberately, since
 every algorithm in the paper is lockstep-symmetric and such a mismatch is a
 program bug.
+
+Scheduling implementations
+--------------------------
+Two interchangeable matchers realize step 3 (see ``docs/model.md``):
+
+* ``matching="indexed"`` (default) — counterpart-indexed worklist pruning.
+  Requests live in per-rank slot arrays; when a request is pruned, only
+  the requests whose legs reference it are rechecked, so each cycle's
+  fixed point costs O(requests + prunes) instead of the legacy matcher's
+  O(active²) worst case.  Link validation of repeated (rank, peer)
+  endpoints is cached (the topology is fixed for the life of a run).
+* ``matching="legacy"`` — the original whole-snapshot rescan, kept
+  verbatim as the reference implementation for differential tests.
+
+Both matchers compute the same greatest fixed point and produce identical
+results, cycle counts, and cost ledgers.
+
+The indexed matcher additionally has a *fast* bookkeeping mode
+(``fast=True``, or the default ``fast=None`` which enables it whenever
+neither a trace nor a message log was requested): per-delivery ledger
+updates are accumulated in plain Python scalars/lists and flushed to the
+:class:`CostCounters` arrays once at the end of the run.  The final
+counter state is identical either way.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
-from repro.simulator.counters import CostCounters
+from repro.simulator.counters import CostCounters, payload_size
 from repro.simulator.errors import (
     DeadlockError,
     LinkError,
@@ -43,9 +67,34 @@ from repro.simulator.requests import Idle, Recv, Request, Send, SendRecv, Shift
 from repro.simulator.trace import TraceRecorder
 from repro.topology.base import Topology
 
-__all__ = ["Engine", "EngineResult", "run_spmd"]
+__all__ = ["Engine", "EngineResult", "run_spmd", "use_matching"]
 
 Program = Callable[[NodeCtx], Generator[Request, Any, Any]]
+
+_MATCHINGS = ("indexed", "legacy")
+_DEFAULT_MATCHING = "indexed"
+
+
+@contextmanager
+def use_matching(mode: str):
+    """Temporarily change the default request matcher (``"indexed"``/``"legacy"``).
+
+    Algorithms call :func:`run_spmd` without exposing engine knobs; this
+    context manager lets differential tests (and curious benchmarks) route
+    those internal runs through either matcher::
+
+        with use_matching("legacy"):
+            prefixes, result = dual_prefix_engine(dc, values, ADD)
+    """
+    global _DEFAULT_MATCHING
+    if mode not in _MATCHINGS:
+        raise ValueError(f"matching must be one of {_MATCHINGS}, got {mode!r}")
+    previous = _DEFAULT_MATCHING
+    _DEFAULT_MATCHING = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_MATCHING = previous
 
 
 @dataclass
@@ -84,6 +133,16 @@ class Engine:
         Keep a full :class:`Message` log (memory-heavy; tests only).
     max_cycles:
         Safety valve against livelock (e.g. an all-``Idle`` spin).
+    matching:
+        Request matcher: ``"indexed"`` (counterpart-indexed worklist, the
+        default) or ``"legacy"`` (whole-snapshot rescan, the reference
+        implementation).  ``None`` uses the :func:`use_matching` default.
+    fast:
+        Skip per-delivery trace/message-log bookkeeping and flush cost
+        tallies in bulk (indexed matcher only).  ``None`` (default) means
+        auto: fast whenever neither ``trace`` nor ``log_messages`` was
+        requested.  Passing ``fast=True`` together with a trace or a
+        message log is an error.
     """
 
     def __init__(
@@ -94,15 +153,318 @@ class Engine:
         trace: TraceRecorder | None = None,
         log_messages: bool = False,
         max_cycles: int = 1_000_000,
+        matching: str | None = None,
+        fast: bool | None = None,
     ):
         self.topo = topo
         self.program = program
         self.trace = trace
         self.log_messages = log_messages
         self.max_cycles = max_cycles
+        if matching is None:
+            matching = _DEFAULT_MATCHING
+        if matching not in _MATCHINGS:
+            raise ValueError(
+                f"matching must be one of {_MATCHINGS}, got {matching!r}"
+            )
+        self.matching = matching
+        wants_bookkeeping = trace is not None or log_messages
+        if fast is None:
+            fast = not wants_bookkeeping
+        elif fast and wants_bookkeeping:
+            raise ValueError(
+                "fast=True skips trace/message-log bookkeeping; drop the "
+                "trace/log_messages arguments or pass fast=False"
+            )
+        self.fast = fast
+        self._ok_endpoints: set[int] = set()
 
     def run(self) -> EngineResult:
         """Execute to completion and return results plus cost counters."""
+        if self.matching == "legacy":
+            return self._run_legacy()
+        return self._run_indexed()
+
+    # -- indexed matcher (the hot path) ---------------------------------------
+
+    # Request kind codes for the slot-array representation.
+    _IDLE, _SEND, _RECV, _SENDRECV, _SHIFT = range(5)
+
+    def _run_indexed(self) -> EngineResult:
+        """Slot-array engine with counterpart-indexed worklist matching.
+
+        Each issued request is decoded exactly once (at yield time) into
+        preallocated per-rank slot arrays — a kind code, the send-leg
+        endpoint, the receive-leg endpoint, and the payload — so the
+        per-cycle matching, delivery, and resumption loops run on plain
+        ints and never re-inspect request objects.
+        """
+        topo = self.topo
+        n = topo.num_nodes
+        counters = CostCounters(n)
+        fast = self.fast
+        message_log: list[Message] | None = [] if self.log_messages else None
+
+        IDLE, SENDRECV = self._IDLE, self._SENDRECV
+        SEND, RECV, SHIFT = self._SEND, self._RECV, self._SHIFT
+
+        gens: list[Generator[Request, Any, Any] | None] = [None] * n
+        returns: list[Any] = [None] * n
+        npending = 0
+
+        # Decoded request slots (valid where has_req[rank] is set).
+        has_req = bytearray(n)
+        kind = bytearray(n)
+        send_to = [-1] * n  # dst/peer of the send leg, -1 if none
+        recv_from = [-1] * n  # src/peer of the receive leg, -1 if none
+        payloads: list[Any] = [None] * n
+        reqs: list[Request | None] = [None] * n  # originals, for errors only
+
+        ok_endpoints = self._ok_endpoints
+
+        def check_endpoint(rank: int, other: int, req: Request) -> None:
+            # Full validation on cache miss; the topology is fixed for the
+            # life of the run, so a validated (rank, other) pair is final.
+            if other == rank:
+                raise LinkError(f"rank {rank} addressed itself with {req!r}")
+            topo.check_node(other)
+            if not topo.has_edge(rank, other):
+                raise LinkError(
+                    f"rank {rank} addressed non-neighbor {other} with {req!r} "
+                    f"on {topo.name}"
+                )
+            ok_endpoints.add(rank * n + other)
+
+        def advance(rank: int, value: Any) -> None:
+            nonlocal npending
+            gen = gens[rank]
+            assert gen is not None
+            try:
+                req = gen.send(value)
+            except StopIteration as stop:
+                returns[rank] = stop.value
+                gens[rank] = None
+                return
+            # Decode + validate once; every later cycle works on the slots.
+            if isinstance(req, SendRecv):
+                peer = req.peer
+                if rank * n + peer not in ok_endpoints:
+                    check_endpoint(rank, peer, req)
+                kind[rank] = SENDRECV
+                send_to[rank] = peer
+                recv_from[rank] = peer
+                payloads[rank] = req.payload
+            elif isinstance(req, Send):
+                dst = req.dst
+                if rank * n + dst not in ok_endpoints:
+                    check_endpoint(rank, dst, req)
+                kind[rank] = SEND
+                send_to[rank] = dst
+                recv_from[rank] = -1
+                payloads[rank] = req.payload
+            elif isinstance(req, Recv):
+                src = req.src
+                if rank * n + src not in ok_endpoints:
+                    check_endpoint(rank, src, req)
+                kind[rank] = RECV
+                send_to[rank] = -1
+                recv_from[rank] = src
+                payloads[rank] = None
+            elif isinstance(req, Idle):
+                kind[rank] = IDLE
+                send_to[rank] = -1
+                recv_from[rank] = -1
+                payloads[rank] = None
+            elif isinstance(req, Shift):
+                dst, src = req.dst, req.src
+                if rank * n + dst not in ok_endpoints:
+                    check_endpoint(rank, dst, req)
+                if rank * n + src not in ok_endpoints:
+                    check_endpoint(rank, src, req)
+                kind[rank] = SHIFT
+                send_to[rank] = dst
+                recv_from[rank] = src
+                payloads[rank] = req.payload
+            else:
+                raise ProgramError(
+                    f"rank {rank} yielded {req!r}; expected "
+                    f"Send/Recv/SendRecv/Shift/Idle"
+                )
+            reqs[rank] = req
+            has_req[rank] = 1
+            npending += 1
+
+        for rank in range(n):
+            ctx = NodeCtx(rank, topo, counters, self.trace)
+            gen = self.program(ctx)
+            if not hasattr(gen, "send"):
+                raise ProgramError(
+                    f"program must be a generator function, got {type(gen)!r} "
+                    f"at rank {rank}"
+                )
+            gens[rank] = gen
+            advance(rank, None)
+
+        # Per-cycle scratch, allocated once: ``alive`` marks requests still
+        # completable this cycle, ``deps[p]`` lists the ranks whose legs
+        # reference rank ``p`` (the counterpart index), ``incoming`` the
+        # value each completing program resumes with.
+        alive = bytearray(n)
+        deps: list[list[int]] = [[] for _ in range(n)]
+        incoming: list[Any] = [None] * n
+
+        def satisfied(rank: int) -> bool:
+            # A SendRecv pairs only with a SendRecv back at it; every other
+            # leg pairs with the matching opposite leg of a non-SendRecv.
+            if kind[rank] == SENDRECV:
+                p = send_to[rank]
+                return bool(
+                    alive[p] and kind[p] == SENDRECV and send_to[p] == rank
+                )
+            st = send_to[rank]
+            if st >= 0 and not (
+                alive[st] and recv_from[st] == rank and kind[st] != SENDRECV
+            ):
+                return False
+            rf = recv_from[rank]
+            if rf >= 0 and not (
+                alive[rf] and send_to[rf] == rank and kind[rf] != SENDRECV
+            ):
+                return False
+            return True
+
+        # Fast-mode ledger tallies, flushed to ``counters`` in one shot.
+        f_cycles = f_active = f_messages = f_payload = f_maxp = 0
+        f_sends = [0] * n
+        f_recvs = [0] * n
+
+        cycle = 0
+        try:
+            while npending:
+                cycle += 1
+                if cycle > self.max_cycles:
+                    raise DeadlockError(
+                        cycle, self._blocked_dict(has_req, reqs)
+                    )
+
+                completed: list[int] = []
+                active_ranks: list[int] = []
+                touched: list[int] = []
+                for rank in range(n):
+                    if not has_req[rank]:
+                        continue
+                    if kind[rank] == IDLE:
+                        incoming[rank] = None
+                        completed.append(rank)
+                    else:
+                        alive[rank] = 1
+                        active_ranks.append(rank)
+
+                # Build the counterpart index for this snapshot.
+                for rank in active_ranks:
+                    st = send_to[rank]
+                    if st >= 0:
+                        lst = deps[st]
+                        if not lst:
+                            touched.append(st)
+                        lst.append(rank)
+                    rf = recv_from[rank]
+                    if rf >= 0 and rf != st:
+                        lst = deps[rf]
+                        if not lst:
+                            touched.append(rf)
+                        lst.append(rank)
+
+                # Greatest fixed point by worklist: one full pass, then only
+                # the dependents of whatever was pruned are rechecked.
+                stack: list[int] = []
+                for rank in active_ranks:
+                    if not satisfied(rank):
+                        alive[rank] = 0
+                        stack.extend(deps[rank])
+                while stack:
+                    rank = stack.pop()
+                    if alive[rank] and not satisfied(rank):
+                        alive[rank] = 0
+                        stack.extend(deps[rank])
+
+                # Deliver the survivors.
+                deliveries = 0
+                for rank in active_ranks:
+                    if not alive[rank]:
+                        continue
+                    st = send_to[rank]
+                    if st >= 0:
+                        payload = payloads[rank]
+                        deliveries += 1
+                        if fast:
+                            size = payload_size(payload)
+                            f_messages += 1
+                            f_payload += size
+                            if size > f_maxp:
+                                f_maxp = size
+                            f_sends[rank] += 1
+                            f_recvs[st] += 1
+                        else:
+                            counters.record_delivery(rank, st, payload)
+                            if message_log is not None:
+                                message_log.append(
+                                    Message(rank, st, payload, cycle)
+                                )
+                    rf = recv_from[rank]
+                    incoming[rank] = payloads[rf] if rf >= 0 else None
+                    completed.append(rank)
+
+                # Reset the scratch structures for the next cycle.
+                for rank in active_ranks:
+                    alive[rank] = 0
+                for p in touched:
+                    deps[p].clear()
+
+                if not completed:
+                    raise DeadlockError(
+                        cycle, self._blocked_dict(has_req, reqs)
+                    )
+                if fast:
+                    f_cycles += 1
+                    if deliveries:
+                        f_active += 1
+                else:
+                    counters.record_cycle(deliveries)
+                completed.sort()
+                npending -= len(completed)
+                for rank in completed:
+                    has_req[rank] = 0
+                for rank in completed:
+                    advance(rank, incoming[rank])
+        finally:
+            if fast:
+                counters.record_bulk(
+                    cycles=f_cycles,
+                    active_cycles=f_active,
+                    messages=f_messages,
+                    payload_items=f_payload,
+                    max_message_payload=f_maxp,
+                    sends=f_sends,
+                    recvs=f_recvs,
+                )
+
+        return EngineResult(
+            returns=returns,
+            counters=counters,
+            trace=self.trace,
+            message_log=message_log,
+        )
+
+    @staticmethod
+    def _blocked_dict(has_req: bytearray, reqs: list) -> dict[int, Request]:
+        """Occupied slots -> {rank: request} for DeadlockError reporting."""
+        return {r: reqs[r] for r in range(len(has_req)) if has_req[r]}
+
+    # -- legacy matcher (reference implementation) -----------------------------
+
+    def _run_legacy(self) -> EngineResult:
+        """The original whole-snapshot rescan engine, kept as the oracle."""
         topo = self.topo
         n = topo.num_nodes
         counters = CostCounters(n)
@@ -269,6 +631,8 @@ def run_spmd(
     trace: TraceRecorder | None = None,
     log_messages: bool = False,
     max_cycles: int = 1_000_000,
+    matching: str | None = None,
+    fast: bool | None = None,
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -277,4 +641,6 @@ def run_spmd(
         trace=trace,
         log_messages=log_messages,
         max_cycles=max_cycles,
+        matching=matching,
+        fast=fast,
     ).run()

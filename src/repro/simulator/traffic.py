@@ -61,9 +61,33 @@ class TrafficStats:
 def random_pairs(
     num_nodes: int, count: int, rng, *, exclude_self: bool = True
 ) -> list[tuple[int, int]]:
-    """Sample ``count`` (src, dst) pairs uniformly."""
-    out = []
+    """Sample ``count`` (src, dst) pairs uniformly.
+
+    Raises :class:`ValueError` when no valid pair exists (fewer than two
+    nodes with ``exclude_self=True`` — previously an infinite rejection
+    loop); the rejection loop itself is bounded as a safety net.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if exclude_self and num_nodes < 2 and count > 0:
+        raise ValueError(
+            f"cannot sample {count} self-excluding pairs from {num_nodes} "
+            f"node(s); need at least 2 nodes or exclude_self=False"
+        )
+    out: list[tuple[int, int]] = []
+    # With >= 2 nodes a rejection happens w.p. 1/num_nodes per draw, so
+    # this budget is astronomically unlikely to be exhausted; it exists so
+    # a pathological rng can never spin forever.
+    attempts_left = 100 * count + 100
     while len(out) < count:
+        if attempts_left <= 0:
+            raise RuntimeError(
+                f"rejection sampling exhausted its attempt budget with "
+                f"{len(out)}/{count} pairs drawn"
+            )
+        attempts_left -= 1
         u = int(rng.integers(0, num_nodes))
         v = int(rng.integers(0, num_nodes))
         if exclude_self and u == v:
@@ -84,8 +108,16 @@ def run_traffic(
     """
     load: Counter = Counter()
     total_hops = 0
+    router_name = getattr(router, "__name__", repr(router))
     for u, v in pairs:
-        path = list(router(u, v))
+        raw = router(u, v)
+        path = list(raw) if raw is not None else []
+        if not path:
+            raise ValueError(
+                f"router {router_name} returned an empty path for pair "
+                f"({u}, {v}) on {topo.name}; every pair must be routable "
+                f"(got {raw!r})"
+            )
         if path[0] != u or path[-1] != v:
             raise ValueError(f"router returned bad endpoints for ({u}, {v})")
         for a, b in zip(path, path[1:]):

@@ -1,0 +1,174 @@
+"""Tests for the persistent perf harness (``repro bench``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BenchRecord,
+    compare_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.perf.bench import SCHEMA_VERSION, _EXACT_FIELDS
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One smoke run shared by the whole module (it runs real algorithms)."""
+    return run_bench(smoke=True, max_n=2)
+
+
+class TestRunBench:
+    def test_smoke_caps_sweep_and_repeats(self, smoke_payload):
+        assert smoke_payload["smoke"] is True
+        assert smoke_payload["repeats"] == 1
+        assert {r["n"] for r in smoke_payload["records"]} == {2}
+
+    def test_schema_and_metadata(self, smoke_payload):
+        assert smoke_payload["schema"] == SCHEMA_VERSION
+        assert smoke_payload["suite"] == "core"
+        assert smoke_payload["seed"] == 0
+
+    def test_covers_every_suite_member(self, smoke_payload):
+        benches = {(r["bench"], r["backend"]) for r in smoke_payload["records"]}
+        assert benches == {
+            ("dual_prefix", "vectorized"),
+            ("dual_prefix", "engine"),
+            ("dual_sort", "vectorized"),
+            ("dual_sort", "engine"),
+            ("large_prefix_b8", "vectorized"),
+            ("large_sort_b8", "vectorized"),
+            ("run_traffic", "router"),
+        }
+
+    def test_records_have_sane_costs(self, smoke_payload):
+        for r in smoke_payload["records"]:
+            assert r["wall_s"] > 0
+            assert r["num_nodes"] == 2 ** (2 * r["n"] - 1)
+            assert r["messages"] > 0
+            assert r["comm_steps"] >= 0
+
+    def test_engine_and_vectorized_agree_on_comm_steps(self, smoke_payload):
+        by_key = {(r["bench"], r["backend"]): r for r in smoke_payload["records"]}
+        for bench in ("dual_prefix", "dual_sort"):
+            eng = by_key[(bench, "engine")]
+            vec = by_key[(bench, "vectorized")]
+            assert eng["comm_steps"] == vec["comm_steps"]
+
+    def test_max_n_validated(self):
+        with pytest.raises(ValueError, match="max_n"):
+            run_bench(max_n=1)
+
+    def test_record_key(self):
+        r = BenchRecord(
+            bench="b", backend="x", n=2, num_nodes=16, wall_s=0.1,
+            comm_steps=1, comp_steps=1, messages=1, payload_items=1,
+            max_message_payload=1,
+        )
+        assert r.key == ("b", "x", 2)
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, smoke_payload, tmp_path):
+        path = write_bench(smoke_payload, tmp_path / "b.json")
+        assert load_bench(path) == smoke_payload
+
+    def test_output_is_stable_pretty_json(self, smoke_payload, tmp_path):
+        path = write_bench(smoke_payload, tmp_path / "b.json")
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == smoke_payload
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+
+class TestCompareBench:
+    def test_identical_payloads_are_clean(self, smoke_payload):
+        assert compare_bench(smoke_payload, smoke_payload) == []
+
+    @pytest.mark.parametrize("field", _EXACT_FIELDS)
+    def test_cost_field_drift_is_flagged(self, smoke_payload, field):
+        current = copy.deepcopy(smoke_payload)
+        current["records"][0][field] += 1
+        problems = compare_bench(current, smoke_payload)
+        assert len(problems) == 1
+        assert field in problems[0]
+
+    def test_wallclock_regression_flagged(self, smoke_payload):
+        current = copy.deepcopy(smoke_payload)
+        current["records"][0]["wall_s"] = smoke_payload["records"][0]["wall_s"] * 10
+        problems = compare_bench(current, smoke_payload)
+        assert len(problems) == 1
+        assert "wallclock" in problems[0]
+
+    def test_wallclock_within_factor_ok(self, smoke_payload):
+        current = copy.deepcopy(smoke_payload)
+        current["records"][0]["wall_s"] = smoke_payload["records"][0]["wall_s"] * 1.4
+        assert compare_bench(current, smoke_payload) == []
+
+    def test_disappeared_record_flagged(self, smoke_payload):
+        current = copy.deepcopy(smoke_payload)
+        dropped = current["records"].pop()
+        problems = compare_bench(current, smoke_payload)
+        assert len(problems) == 1
+        assert dropped["bench"] in problems[0]
+        assert "disappeared" in problems[0]
+
+    def test_new_record_is_fine(self, smoke_payload):
+        previous = copy.deepcopy(smoke_payload)
+        previous["records"].pop()
+        assert compare_bench(smoke_payload, previous) == []
+
+    def test_bad_wall_factor_rejected(self, smoke_payload):
+        with pytest.raises(ValueError, match="wall_factor"):
+            compare_bench(smoke_payload, smoke_payload, wall_factor=0)
+
+
+class TestCli:
+    def test_bench_smoke_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--smoke", "--max-n", "2", "--out", str(out)])
+        assert rc == 0
+        assert load_bench(out)["smoke"] is True
+        stdout = capsys.readouterr().out
+        assert "repro bench (smoke)" in stdout
+        assert "dual_sort" in stdout
+
+    def test_bench_compare_clean_exit_zero(self, tmp_path, capsys):
+        prev = tmp_path / "prev.json"
+        main(["bench", "--smoke", "--max-n", "2", "--out", str(prev)])
+        rc = main(
+            [
+                "bench", "--smoke", "--max-n", "2",
+                "--out", str(tmp_path / "cur.json"),
+                "--compare", str(prev),
+                "--wall-factor", "1000",
+            ]
+        )
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_regression_exit_one(self, tmp_path, capsys):
+        prev_path = tmp_path / "prev.json"
+        main(["bench", "--smoke", "--max-n", "2", "--out", str(prev_path)])
+        doctored = load_bench(prev_path)
+        doctored["records"][0]["messages"] += 7
+        write_bench(doctored, prev_path)
+        rc = main(
+            [
+                "bench", "--smoke", "--max-n", "2",
+                "--out", str(tmp_path / "cur.json"),
+                "--compare", str(prev_path),
+                "--wall-factor", "1000",
+            ]
+        )
+        assert rc == 1
+        assert "REGRESSIONS" in capsys.readouterr().out

@@ -74,6 +74,59 @@ class TestCostCounters:
         assert c.comp_steps == 2  # ranks 0-1 did two rounds
         assert c.max_node_ops == 3
 
+    def test_comp_step_duplicate_ranks_all_counted(self):
+        """Regression: buffered fancy indexing collapsed duplicate ranks,
+        so a node doing several rounds in one call was undercounted."""
+        c = CostCounters(4)
+        c.record_comp_step(ops_each=1, ranks=[1, 1, 2])
+        assert c.comp_steps == 2  # rank 1 did two rounds
+        assert c.total_ops == 3
+        assert c.max_node_ops == 2
+
+    def test_comp_step_duplicate_ranks_accumulate_ops(self):
+        c = CostCounters(3)
+        c.record_comp_step(ops_each=5, ranks=[0, 0, 0, 2])
+        c.record_comp_step(ops_each=1, ranks=[2])
+        assert c.comp_steps == 3
+        assert c.max_node_ops == 15
+        assert c.total_ops == 21
+
+    def test_record_bulk_matches_per_event_recording(self):
+        per_event = CostCounters(4)
+        per_event.record_delivery(0, 1, Packed((1, 2)))
+        per_event.record_delivery(2, 3, "x")
+        per_event.record_cycle(deliveries=2)
+        per_event.record_cycle(deliveries=0)
+
+        bulk = CostCounters(4)
+        bulk.record_bulk(
+            cycles=2,
+            active_cycles=1,
+            messages=2,
+            payload_items=3,
+            max_message_payload=2,
+            sends=[1, 0, 1, 0],
+            recvs=[0, 1, 0, 1],
+        )
+        assert bulk.summary() == per_event.summary()
+        assert list(bulk.sends) == list(per_event.sends)
+        assert list(bulk.recvs) == list(per_event.recvs)
+        assert bulk.active_cycles == per_event.active_cycles
+
+    def test_record_bulk_keeps_existing_max_payload(self):
+        c = CostCounters(2)
+        c.record_delivery(0, 1, Packed((1, 2, 3)))
+        c.record_bulk(
+            cycles=1,
+            active_cycles=1,
+            messages=1,
+            payload_items=1,
+            max_message_payload=1,
+            sends=[0, 1],
+            recvs=[1, 0],
+        )
+        assert c.max_message_payload == 3
+
     def test_zero_message_step_not_active(self):
         c = CostCounters(2)
         c.record_comm_step(messages=0)

@@ -1,0 +1,204 @@
+"""Matching semantics, parametrized over both matcher implementations.
+
+The contracts the paper's step counts rest on: a whole Shift ring
+resolves in one cycle, deliberately asymmetric pairs deadlock, and a
+livelocked program trips ``max_cycles`` — identically under the legacy
+rescan matcher and the counterpart-indexed one.
+"""
+
+import pytest
+
+from repro.simulator import (
+    DeadlockError,
+    Idle,
+    Recv,
+    Send,
+    SendRecv,
+    Shift,
+    run_spmd,
+    use_matching,
+)
+from repro.simulator.engine import Engine
+from repro.topology import Hypercube, RecursiveDualCube
+from repro.topology.hamiltonian import hamiltonian_cycle
+
+pytestmark = pytest.mark.parametrize("matching", ["legacy", "indexed"])
+
+
+def _ring(n=2):
+    rdc = RecursiveDualCube(n)
+    cyc = hamiltonian_cycle(n)
+    size = rdc.num_nodes
+    succ = {cyc[k]: cyc[(k + 1) % size] for k in range(size)}
+    pred = {cyc[k]: cyc[(k - 1) % size] for k in range(size)}
+    return rdc, succ, pred
+
+
+class TestShiftRings:
+    def test_full_ring_resolves_in_one_cycle(self, matching):
+        rdc, succ, pred = _ring()
+
+        def program(ctx):
+            got = yield Shift(succ[ctx.rank], ctx.rank, pred[ctx.rank])
+            return got
+
+        res = run_spmd(rdc, program, matching=matching)
+        assert res.comm_steps == 1
+        assert res.counters.messages == rdc.num_nodes
+        for u in rdc.nodes():
+            assert res.returns[u] == pred[u]
+
+    def test_ring_with_one_defector_deadlocks(self, matching):
+        """One ring member idles instead of shifting: the whole ring blocks
+        once the idler has finished (nothing can complete -> deadlock)."""
+        rdc, succ, pred = _ring()
+
+        def program(ctx):
+            if ctx.rank == succ[0]:
+                yield Idle()
+                return None
+            got = yield Shift(succ[ctx.rank], ctx.rank, pred[ctx.rank])
+            return got
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(rdc, program, matching=matching)
+        assert len(exc.value.blocked) == rdc.num_nodes - 1
+
+    def test_shift_chain_with_send_recv_endcaps(self, matching):
+        """An open chain: Send feeds the first Shift, Recv drains the last;
+        the whole pipeline still resolves in one cycle."""
+        rdc, succ, pred = _ring()
+        cyc = hamiltonian_cycle(2)
+        head, tail = cyc[0], cyc[-1]
+
+        def program(ctx):
+            u = ctx.rank
+            if u == head:
+                yield Send(succ[u], "start")
+                return None
+            if u == tail:
+                got = yield Recv(pred[u])
+                return got
+            got = yield Shift(succ[u], u, pred[u])
+            return got
+
+        res = run_spmd(rdc, program, matching=matching)
+        assert res.comm_steps == 1
+        assert res.returns[succ[head]] == "start"
+        assert res.returns[tail] == pred[tail]
+
+
+class TestAsymmetricDeadlocks:
+    def test_send_facing_send(self, matching):
+        def program(ctx):
+            yield Send(ctx.rank ^ 1, "x")
+
+        with pytest.raises(DeadlockError, match="blocked"):
+            run_spmd(Hypercube(1), program, matching=matching)
+
+    def test_recv_facing_recv(self, matching):
+        def program(ctx):
+            yield Recv(ctx.rank ^ 1)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(Hypercube(1), program, matching=matching)
+
+    def test_sendrecv_facing_bare_recv(self, matching):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield SendRecv(1, "x")
+            else:
+                yield Recv(0)
+
+        with pytest.raises(DeadlockError):
+            run_spmd(Hypercube(1), program, matching=matching)
+
+    def test_sendrecv_facing_bare_send(self, matching):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield SendRecv(1, "x")
+            else:
+                yield Send(0, "y")
+
+        with pytest.raises(DeadlockError):
+            run_spmd(Hypercube(1), program, matching=matching)
+
+    def test_deadlock_reports_cycle_and_blocked_set(self, matching):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Idle()
+                yield Recv(1)  # nobody ever sends
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(Hypercube(1), program, matching=matching)
+        assert exc.value.cycle == 2
+        assert list(exc.value.blocked) == [0]
+        assert isinstance(exc.value.blocked[0], Recv)
+
+
+class TestLivelock:
+    def test_max_cycles_guard_on_idle_spin(self, matching):
+        def program(ctx):
+            while True:
+                yield Idle()
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(Hypercube(1), program, matching=matching)
+        assert exc.value.cycle == 1_000_001  # the default valve
+
+    def test_max_cycles_configurable(self, matching):
+        def program(ctx):
+            while True:
+                yield Idle()
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(Hypercube(2), program, matching=matching, max_cycles=17)
+        assert exc.value.cycle == 18
+        assert len(exc.value.blocked) == 4
+
+    def test_one_sided_progress_is_not_livelock(self, matching):
+        """Idles completing keep the clock ticking while a pair waits."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                got = yield SendRecv(1, "a")
+                return got
+            for _ in range(5):
+                yield Idle()
+            got = yield SendRecv(0, "b")
+            return got
+
+        res = run_spmd(Hypercube(1), program, matching=matching)
+        assert res.returns == ["b", "a"]
+        assert res.comm_steps == 6
+
+
+class TestMatchingSelection:
+    def test_engine_records_requested_matcher(self, matching):
+        def program(ctx):
+            return None
+            yield  # pragma: no cover
+
+        eng = Engine(Hypercube(1), program, matching=matching)
+        assert eng.matching == matching
+
+    def test_use_matching_sets_and_restores_default(self, matching):
+        def program(ctx):
+            return None
+            yield  # pragma: no cover
+
+        before = Engine(Hypercube(1), program).matching
+        with use_matching(matching):
+            assert Engine(Hypercube(1), program).matching == matching
+        assert Engine(Hypercube(1), program).matching == before
+
+    def test_unknown_matching_rejected(self, matching):
+        def program(ctx):
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(ValueError, match="matching"):
+            Engine(Hypercube(1), program, matching="quantum")
+        with pytest.raises(ValueError, match="matching"):
+            use_matching("quantum").__enter__()

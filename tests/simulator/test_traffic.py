@@ -27,6 +27,23 @@ class TestRandomPairs:
         pairs = random_pairs(2, 300, rng, exclude_self=False)
         assert any(u == v for u, v in pairs)
 
+    def test_single_node_exclude_self_raises(self, rng):
+        """Regression: this used to spin in the rejection loop forever."""
+        with pytest.raises(ValueError, match="exclude_self"):
+            random_pairs(1, 5, rng)
+
+    def test_single_node_self_pairs_ok(self, rng):
+        assert random_pairs(1, 3, rng, exclude_self=False) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_zero_count_is_fine_even_for_single_node(self, rng):
+        assert random_pairs(1, 0, rng) == []
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError, match="num_nodes"):
+            random_pairs(0, 5, rng)
+        with pytest.raises(ValueError, match="count"):
+            random_pairs(4, -1, rng)
+
 
 class TestDimensionOrderPath:
     def test_fixes_bits_low_to_high(self):
@@ -75,6 +92,24 @@ class TestRunTraffic:
         cube = Hypercube(2)
         with pytest.raises(ValueError, match="non-edge"):
             run_traffic(cube, lambda u, v: [u, v], [(0, 3)])
+
+    def test_empty_path_names_router_and_pair(self):
+        """Regression: a router returning [] used to crash with a bare
+        IndexError deep in the hop loop."""
+
+        def broken_router(u, v):
+            return []
+
+        with pytest.raises(ValueError) as exc:
+            run_traffic(Hypercube(2), broken_router, [(1, 2)])
+        msg = str(exc.value)
+        assert "broken_router" in msg
+        assert "(1, 2)" in msg
+        assert "Q_2" in msg
+
+    def test_none_path_treated_as_unroutable(self):
+        with pytest.raises(ValueError, match="empty path"):
+            run_traffic(Hypercube(2), lambda u, v: None, [(0, 1)])
 
     def test_empty_batch(self):
         stats = run_traffic(Hypercube(2), hypercube_dimension_order_path, [])
