@@ -1,16 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test bench-smoke bench-faults-smoke bench
 
-## check: tier-1 test suite + bench smoke run (what CI gates on)
-check: test bench-smoke
+## check: tier-1 test suite + bench smoke runs (what CI gates on)
+check: test bench-smoke bench-faults-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out BENCH_smoke.json
+
+bench-faults-smoke:
+	$(PYTHON) -m repro bench --faults --smoke --out BENCH_faults_smoke.json
 
 ## bench: full sweep, refreshes BENCH_core.json at the repo root
 bench:

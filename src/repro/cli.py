@@ -211,6 +211,7 @@ def _cmd_bench(args) -> int:
         repeats=args.repeats,
         smoke=args.smoke,
         seed=args.seed,
+        faults_only=args.faults,
     )
     rows = [
         (
@@ -223,17 +224,22 @@ def _cmd_bench(args) -> int:
             r["comp_steps"],
             r["messages"],
             r["max_message_payload"],
+            r.get("messages_dropped", 0),
         )
         for r in payload["records"]
     ]
     print(
         format_table(
-            ["bench", "backend", "n", "nodes", "wall ms", "comm", "comp", "msgs", "peak payload"],
+            ["bench", "backend", "n", "nodes", "wall ms", "comm", "comp", "msgs", "peak payload", "drops"],
             rows,
             title="repro bench" + (" (smoke)" if args.smoke else ""),
         )
     )
-    out = args.out or ("BENCH_smoke.json" if args.smoke else "BENCH_core.json")
+    if args.faults:
+        default_out = "BENCH_faults_smoke.json" if args.smoke else "BENCH_faults.json"
+    else:
+        default_out = "BENCH_smoke.json" if args.smoke else "BENCH_core.json"
+    out = args.out or default_out
     path = write_bench(payload, out)
     print(f"wrote {path} ({len(payload['records'])} records)")
 
@@ -327,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true", help="quick wiring check (n<=3, 1 repeat)"
     )
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--faults", action="store_true",
+        help="run only the fault-injection scenario family (degraded node/link, seeded drop+retry)",
+    )
     sp.add_argument(
         "--out", default=None, help="output path (default BENCH_core.json; smoke: BENCH_smoke.json)"
     )

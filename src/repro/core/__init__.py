@@ -73,6 +73,7 @@ from repro.core.sorting_networks import (
     verify_zero_one,
     is_dimension_exchange_network,
 )
+from repro.core.run_faulty import FaultyRunResult, run_faulty
 from repro.core.verify import (
     check_prefix,
     check_sorted,
@@ -129,6 +130,8 @@ __all__ = [
     "comparator_count",
     "verify_zero_one",
     "is_dimension_exchange_network",
+    "FaultyRunResult",
+    "run_faulty",
     "check_prefix",
     "check_sorted",
     "is_permutation_of",

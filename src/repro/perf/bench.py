@@ -24,10 +24,12 @@ from repro.core.dual_prefix import dual_prefix_engine, dual_prefix_vec
 from repro.core.dual_sort import dual_sort_engine, dual_sort_vec
 from repro.core.large_inputs import large_prefix, large_sort
 from repro.core.ops import ADD
+from repro.core.run_faulty import run_faulty
 from repro.routing.dualcube_routing import route
-from repro.simulator import CostCounters
+from repro.simulator import CostCounters, FaultPlan
 from repro.simulator.traffic import random_pairs, run_traffic
 from repro.topology.dualcube import DualCube
+from repro.topology.faults import FaultSet
 from repro.topology.recursive import RecursiveDualCube
 
 __all__ = [
@@ -42,13 +44,18 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 # Cost fields that must reproduce exactly between runs (they are
-# deterministic functions of the algorithm, not the machine).
+# deterministic functions of the algorithm, not the machine).  The fault
+# counters are deterministic too — seeded drop schedules are pure hashes —
+# so their drift is a regression exactly like cost drift.
 _EXACT_FIELDS = (
     "comm_steps",
     "comp_steps",
     "messages",
     "payload_items",
     "max_message_payload",
+    "messages_dropped",
+    "retries",
+    "timeouts",
 )
 
 
@@ -66,6 +73,9 @@ class BenchRecord:
     messages: int
     payload_items: int
     max_message_payload: int
+    messages_dropped: int = 0
+    retries: int = 0
+    timeouts: int = 0
 
     @property
     def key(self) -> tuple[str, str, int]:
@@ -101,6 +111,9 @@ def _from_counters(
         messages=s["messages"],
         payload_items=s["payload_items"],
         max_message_payload=s["max_message_payload"],
+        messages_dropped=s["messages_dropped"],
+        retries=s["retries"],
+        timeouts=s["timeouts"],
     )
 
 
@@ -176,6 +189,47 @@ def _bench_large_sort(n: int, block: int, rng, repeats: int) -> BenchRecord:
     )
 
 
+# The fault scenario family (``repro bench --faults``): dual_prefix and
+# dual_sort under one node fault, one link fault (degraded mode over the
+# healthy subgraph), and a seeded 5%-drop plan with retry.  All three are
+# deterministic, so their counters regression-check like any other record.
+_FAULT_DROP_PLAN = dict(drop_rate=0.05, seed=7, max_retries=200)
+
+
+def _fault_scenarios(topo):
+    v = topo.neighbors(2)[0]
+    return (
+        ("degraded-node", FaultSet(nodes=[1]), None, "degraded"),
+        ("degraded-link", FaultSet(links=[(2, v)]), None, "degraded"),
+        ("retry-drop", None, FaultPlan(**_FAULT_DROP_PLAN), "retry"),
+    )
+
+
+def _bench_faulty(kind: str, n: int, rng, repeats: int) -> list[BenchRecord]:
+    if kind == "prefix":
+        topo = DualCube(n)
+        data = rng.integers(0, 1000, topo.num_nodes).tolist()
+    else:
+        topo = RecursiveDualCube(n)
+        data = rng.permutation(topo.num_nodes).tolist()
+    records = []
+    for backend, faults, plan, mode in _fault_scenarios(topo):
+
+        def run(faults=faults, plan=plan, mode=mode) -> CostCounters:
+            res = run_faulty(
+                kind, topo, data, faults=faults, plan=plan, mode=mode
+            )
+            return res.result.counters
+
+        wall, counters = _time_best(run, repeats)
+        records.append(
+            _from_counters(
+                f"fault_{kind}", backend, n, topo.num_nodes, wall, counters
+            )
+        )
+    return records
+
+
 def _bench_traffic(n: int, pairs_per_node: int, rng, repeats: int) -> BenchRecord:
     dc = DualCube(n)
     pairs = random_pairs(dc.num_nodes, pairs_per_node * dc.num_nodes, rng)
@@ -204,11 +258,13 @@ def run_bench(
     seed: int = 0,
     block: int = 8,
     pairs_per_node: int = 4,
+    faults_only: bool = False,
 ) -> dict:
     """Run the core suite and return the JSON-ready payload.
 
     ``smoke`` caps the sweep at n=3 with a single repeat — a wiring check
-    cheap enough for CI, not a measurement.
+    cheap enough for CI, not a measurement.  ``faults_only`` runs just the
+    fault scenario family (``repro bench --faults``).
     """
     if max_n < 2:
         raise ValueError(f"max_n must be >= 2, got {max_n}")
@@ -217,19 +273,27 @@ def run_bench(
         repeats = 1
 
     records: list[BenchRecord] = []
-    for n in range(2, max_n + 1):
-        rng = np.random.default_rng(seed + n)
-        records.append(_bench_dual_prefix(n, "vectorized", rng, repeats))
-        records.append(_bench_dual_prefix(n, "engine", rng, repeats))
-        records.append(_bench_dual_sort(n, "vectorized", rng, repeats))
-        records.append(_bench_dual_sort(n, "engine", rng, repeats))
-        records.append(_bench_large_prefix(n, block, rng, repeats))
-        records.append(_bench_large_sort(n, block, rng, repeats))
-        records.append(_bench_traffic(n, pairs_per_node, rng, repeats))
+    if not faults_only:
+        for n in range(2, max_n + 1):
+            rng = np.random.default_rng(seed + n)
+            records.append(_bench_dual_prefix(n, "vectorized", rng, repeats))
+            records.append(_bench_dual_prefix(n, "engine", rng, repeats))
+            records.append(_bench_dual_sort(n, "vectorized", rng, repeats))
+            records.append(_bench_dual_sort(n, "engine", rng, repeats))
+            records.append(_bench_large_prefix(n, block, rng, repeats))
+            records.append(_bench_large_sort(n, block, rng, repeats))
+            records.append(_bench_traffic(n, pairs_per_node, rng, repeats))
+
+    # Fault scenarios run at one fixed size (the paper's n=3, or n=2 when
+    # the sweep is capped lower) so the record set is stable across max_n.
+    fn = min(3, max_n)
+    rng = np.random.default_rng(seed + fn)
+    records.extend(_bench_faulty("prefix", fn, rng, repeats))
+    records.extend(_bench_faulty("sort", fn, rng, repeats))
 
     return {
         "schema": SCHEMA_VERSION,
-        "suite": "core",
+        "suite": "faults" if faults_only else "core",
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -286,9 +350,12 @@ def compare_bench(
             continue
         c, p = cur[key], prev[key]
         for field in _EXACT_FIELDS:
-            if c[field] != p[field]:
+            # .get: bench files written before the fault counters existed
+            # lack the new fields; treat absent as 0 rather than KeyError.
+            cv, pv = c.get(field, 0), p.get(field, 0)
+            if cv != pv:
                 problems.append(
-                    f"{label}: {field} changed {p[field]} -> {c[field]} "
+                    f"{label}: {field} changed {pv} -> {cv} "
                     f"(cost counters must reproduce exactly)"
                 )
         if p["wall_s"] > 0 and c["wall_s"] > p["wall_s"] * wall_factor:

@@ -21,19 +21,34 @@ from repro.simulator.errors import (
     DeadlockError,
     LinkError,
     ProgramError,
+    FaultError,
+    RetryLimitError,
+    RequestTimeoutError,
 )
 from repro.simulator.requests import Send, Recv, SendRecv, Shift, Idle
 from repro.simulator.counters import CostCounters, Packed
+from repro.simulator.faults import FAULTED, FaultPlan
 from repro.simulator.message import Message
 from repro.simulator.node import NodeCtx
 from repro.simulator.trace import TraceRecorder
-from repro.simulator.engine import Engine, EngineResult, run_spmd, use_matching
+from repro.simulator.engine import (
+    Engine,
+    EngineResult,
+    run_spmd,
+    use_matching,
+    use_fault_plan,
+)
 
 __all__ = [
     "SimulationError",
     "DeadlockError",
     "LinkError",
     "ProgramError",
+    "FaultError",
+    "RetryLimitError",
+    "RequestTimeoutError",
+    "FAULTED",
+    "FaultPlan",
     "Send",
     "Recv",
     "SendRecv",
@@ -48,4 +63,5 @@ __all__ = [
     "EngineResult",
     "run_spmd",
     "use_matching",
+    "use_fault_plan",
 ]

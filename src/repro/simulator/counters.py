@@ -79,6 +79,10 @@ class CostCounters:
         self.messages = 0
         self.payload_items = 0
         self.max_message_payload = 0
+        self.messages_dropped = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.node_crashes = 0
         self.sends = np.zeros(num_nodes, dtype=np.int64)
         self.recvs = np.zeros(num_nodes, dtype=np.int64)
         self._comp_calls = np.zeros(num_nodes, dtype=np.int64)
@@ -101,6 +105,19 @@ class CostCounters:
             self.max_message_payload = size
         self.sends[src] += 1
         self.recvs[dst] += 1
+
+    def record_drop(self) -> None:
+        """One in-flight message lost to fault injection (forces a retry)."""
+        self.messages_dropped += 1
+        self.retries += 1
+
+    def record_timeout(self) -> None:
+        """One request abandoned by the per-request timeout."""
+        self.timeouts += 1
+
+    def record_crash(self) -> None:
+        """One node killed by the fault plan."""
+        self.node_crashes += 1
 
     def record_compute(self, rank: int, ops: int = 1) -> None:
         """One local computation round of ``ops`` primitive operations at ``rank``."""
@@ -203,6 +220,10 @@ class CostCounters:
             "max_message_payload": self.max_message_payload,
             "max_node_ops": self.max_node_ops,
             "total_ops": self.total_ops,
+            "messages_dropped": self.messages_dropped,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "node_crashes": self.node_crashes,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

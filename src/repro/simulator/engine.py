@@ -60,19 +60,23 @@ from repro.simulator.errors import (
     DeadlockError,
     LinkError,
     ProgramError,
+    RequestTimeoutError,
+    RetryLimitError,
 )
+from repro.simulator.faults import FAULTED, FaultPlan
 from repro.simulator.message import Message
 from repro.simulator.node import NodeCtx
 from repro.simulator.requests import Idle, Recv, Request, Send, SendRecv, Shift
 from repro.simulator.trace import TraceRecorder
 from repro.topology.base import Topology
 
-__all__ = ["Engine", "EngineResult", "run_spmd", "use_matching"]
+__all__ = ["Engine", "EngineResult", "run_spmd", "use_matching", "use_fault_plan"]
 
 Program = Callable[[NodeCtx], Generator[Request, Any, Any]]
 
 _MATCHINGS = ("indexed", "legacy")
 _DEFAULT_MATCHING = "indexed"
+_DEFAULT_FAULT_PLAN: FaultPlan | None = None
 
 
 @contextmanager
@@ -97,6 +101,28 @@ def use_matching(mode: str):
         _DEFAULT_MATCHING = previous
 
 
+@contextmanager
+def use_fault_plan(plan: FaultPlan | None):
+    """Temporarily install a default :class:`FaultPlan` for nested runs.
+
+    Mirrors :func:`use_matching`: algorithms call :func:`run_spmd` without
+    exposing engine knobs, and this context manager routes those internal
+    runs through a fault schedule::
+
+        with use_fault_plan(FaultPlan(drop_rate=0.05, seed=7)):
+            prefixes, result = dual_prefix_engine(dc, values, ADD)
+    """
+    global _DEFAULT_FAULT_PLAN
+    if plan is not None and not isinstance(plan, FaultPlan):
+        raise TypeError(f"expected a FaultPlan or None, got {type(plan)!r}")
+    previous = _DEFAULT_FAULT_PLAN
+    _DEFAULT_FAULT_PLAN = plan
+    try:
+        yield
+    finally:
+        _DEFAULT_FAULT_PLAN = previous
+
+
 @dataclass
 class EngineResult:
     """Outcome of one SPMD run."""
@@ -105,6 +131,7 @@ class EngineResult:
     counters: CostCounters
     trace: TraceRecorder | None
     message_log: list[Message] | None
+    crashed_ranks: tuple[int, ...] = ()
 
     @property
     def comm_steps(self) -> int:
@@ -140,9 +167,15 @@ class Engine:
     fast:
         Skip per-delivery trace/message-log bookkeeping and flush cost
         tallies in bulk (indexed matcher only).  ``None`` (default) means
-        auto: fast whenever neither ``trace`` nor ``log_messages`` was
-        requested.  Passing ``fast=True`` together with a trace or a
-        message log is an error.
+        auto: fast whenever neither ``trace`` nor ``log_messages`` nor an
+        active fault plan was requested.  Passing ``fast=True`` together
+        with a trace, a message log, or an active fault plan is an error.
+    fault_plan:
+        Optional :class:`~repro.simulator.faults.FaultPlan` consulted
+        during matching (crashes, link cuts, drops, delays) with the
+        recovery semantics described in ``docs/model.md``.  ``None`` uses
+        the :func:`use_fault_plan` default (normally no plan).  An empty
+        plan takes the exact fault-free code path.
     """
 
     def __init__(
@@ -155,6 +188,7 @@ class Engine:
         max_cycles: int = 1_000_000,
         matching: str | None = None,
         fast: bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.topo = topo
         self.program = program
@@ -168,13 +202,30 @@ class Engine:
                 f"matching must be one of {_MATCHINGS}, got {matching!r}"
             )
         self.matching = matching
+        if fault_plan is None:
+            fault_plan = _DEFAULT_FAULT_PLAN
+        if fault_plan is not None:
+            fault_plan.validate_for(topo)
+        self.fault_plan = fault_plan
+        # The engine's fault logic only engages for a non-empty plan; an
+        # empty plan is guaranteed byte-identical to no plan at all.
+        self._fp = (
+            fault_plan
+            if fault_plan is not None and not fault_plan.is_empty
+            else None
+        )
         wants_bookkeeping = trace is not None or log_messages
         if fast is None:
-            fast = not wants_bookkeeping
+            fast = not wants_bookkeeping and self._fp is None
         elif fast and wants_bookkeeping:
             raise ValueError(
                 "fast=True skips trace/message-log bookkeeping; drop the "
                 "trace/log_messages arguments or pass fast=False"
+            )
+        elif fast and self._fp is not None:
+            raise ValueError(
+                "fast=True skips per-delivery bookkeeping, which fault "
+                "injection needs; drop fast=True or the fault plan"
             )
         self.fast = fast
         self._ok_endpoints: set[int] = set()
@@ -203,6 +254,7 @@ class Engine:
         n = topo.num_nodes
         counters = CostCounters(n)
         fast = self.fast
+        fp = self._fp
         message_log: list[Message] | None = [] if self.log_messages else None
 
         IDLE, SENDRECV = self._IDLE, self._SENDRECV
@@ -211,6 +263,14 @@ class Engine:
         gens: list[Generator[Request, Any, Any] | None] = [None] * n
         returns: list[Any] = [None] * n
         npending = 0
+        cycle = 0
+
+        # Fault bookkeeping (used only when a non-empty plan is active).
+        issue_cycle = [0] * n  # cycle at which the current request was issued
+        ready_at = [0] * n  # issue-delayed requests are invisible before this
+        retry_count = [0] * n  # drop-forced retries of the current request
+        crash_watch = set(fp.node_crashes) if fp is not None else set()
+        crashed: list[int] = []
 
         # Decoded request slots (valid where has_req[rank] is set).
         has_req = bytearray(n)
@@ -293,6 +353,10 @@ class Engine:
             reqs[rank] = req
             has_req[rank] = 1
             npending += 1
+            if fp is not None:
+                issue_cycle[rank] = cycle
+                retry_count[rank] = 0
+                ready_at[rank] = cycle + fp.issue_delay(rank, cycle)
 
         for rank in range(n):
             ctx = NodeCtx(rank, topo, counters, self.trace)
@@ -316,21 +380,29 @@ class Engine:
         def satisfied(rank: int) -> bool:
             # A SendRecv pairs only with a SendRecv back at it; every other
             # leg pairs with the matching opposite leg of a non-SendRecv.
+            # An active fault plan additionally requires every leg's link
+            # to be alive this cycle (a cut link simply never matches).
             if kind[rank] == SENDRECV:
                 p = send_to[rank]
-                return bool(
-                    alive[p] and kind[p] == SENDRECV and send_to[p] == rank
-                )
+                if not (alive[p] and kind[p] == SENDRECV and send_to[p] == rank):
+                    return False
+                return fp is None or fp.link_up(rank, p, cycle)
             st = send_to[rank]
-            if st >= 0 and not (
-                alive[st] and recv_from[st] == rank and kind[st] != SENDRECV
-            ):
-                return False
+            if st >= 0:
+                if not (
+                    alive[st] and recv_from[st] == rank and kind[st] != SENDRECV
+                ):
+                    return False
+                if fp is not None and not fp.link_up(rank, st, cycle):
+                    return False
             rf = recv_from[rank]
-            if rf >= 0 and not (
-                alive[rf] and send_to[rf] == rank and kind[rf] != SENDRECV
-            ):
-                return False
+            if rf >= 0:
+                if not (
+                    alive[rf] and send_to[rf] == rank and kind[rf] != SENDRECV
+                ):
+                    return False
+                if fp is not None and not fp.link_up(rank, rf, cycle):
+                    return False
             return True
 
         # Fast-mode ledger tallies, flushed to ``counters`` in one shot.
@@ -338,7 +410,6 @@ class Engine:
         f_sends = [0] * n
         f_recvs = [0] * n
 
-        cycle = 0
         try:
             while npending:
                 cycle += 1
@@ -347,11 +418,33 @@ class Engine:
                         cycle, self._blocked_dict(has_req, reqs)
                     )
 
+                # Fault plan: execute scheduled node crashes at cycle start.
+                if fp is not None and crash_watch:
+                    for rank in sorted(crash_watch):
+                        if fp.node_crashes[rank] > cycle:
+                            continue
+                        crash_watch.discard(rank)
+                        crashed.append(rank)
+                        counters.record_crash()
+                        gen = gens[rank]
+                        if gen is not None:
+                            gen.close()
+                            gens[rank] = None
+                        if has_req[rank]:
+                            has_req[rank] = 0
+                            npending -= 1
+                    if not npending:
+                        break
+
+                held = 0
                 completed: list[int] = []
                 active_ranks: list[int] = []
                 touched: list[int] = []
                 for rank in range(n):
                     if not has_req[rank]:
+                        continue
+                    if fp is not None and ready_at[rank] > cycle:
+                        held += 1  # issue-delayed: invisible this cycle
                         continue
                     if kind[rank] == IDLE:
                         incoming[rank] = None
@@ -388,6 +481,34 @@ class Engine:
                         alive[rank] = 0
                         stack.extend(deps[rank])
 
+                # Fault plan: drop messages among the survivors.  A dropped
+                # send blocks its whole exchange (the drop cascades through
+                # the same worklist), so the lockstep pair retries next
+                # cycle; verdicts are pure functions of (src, dst, cycle).
+                drops_now = 0
+                if fp is not None:
+                    for rank in active_ranks:
+                        st = send_to[rank]
+                        if (
+                            alive[rank]
+                            and st >= 0
+                            and fp.dropped(rank, st, cycle)
+                        ):
+                            drops_now += 1
+                            counters.record_drop()
+                            retry_count[rank] += 1
+                            if retry_count[rank] > fp.max_retries:
+                                raise RetryLimitError(
+                                    rank, reqs[rank], retry_count[rank], cycle
+                                )
+                            alive[rank] = 0
+                            stack.extend(deps[rank])
+                    while stack:
+                        rank = stack.pop()
+                        if alive[rank] and not satisfied(rank):
+                            alive[rank] = 0
+                            stack.extend(deps[rank])
+
                 # Deliver the survivors.
                 deliveries = 0
                 for rank in active_ranks:
@@ -415,6 +536,22 @@ class Engine:
                     incoming[rank] = payloads[rf] if rf >= 0 else None
                     completed.append(rank)
 
+                # Fault plan: per-request timeout over the still-blocked.
+                if fp is not None and fp.timeout is not None:
+                    for rank in active_ranks:
+                        if alive[rank]:
+                            continue  # completed this cycle
+                        if cycle - issue_cycle[rank] >= fp.timeout:
+                            counters.record_timeout()
+                            if fp.on_timeout == "raise":
+                                raise RequestTimeoutError(
+                                    rank, reqs[rank], cycle, fp.timeout
+                                )
+                            # Cancel: resume the program with FAULTED so it
+                            # can reroute; nothing was delivered.
+                            incoming[rank] = FAULTED
+                            completed.append(rank)
+
                 # Reset the scratch structures for the next cycle.
                 for rank in active_ranks:
                     alive[rank] = 0
@@ -422,9 +559,17 @@ class Engine:
                     deps[p].clear()
 
                 if not completed:
-                    raise DeadlockError(
-                        cycle, self._blocked_dict(has_req, reqs)
+                    # Under fault injection an empty cycle can be progress
+                    # deferred (delays holding requests, drops forcing a
+                    # retry) or progress pending a timeout; otherwise it is
+                    # the classic deadlock.
+                    stalled_ok = fp is not None and (
+                        held or drops_now or fp.timeout is not None
                     )
+                    if not stalled_ok:
+                        raise DeadlockError(
+                            cycle, self._blocked_dict(has_req, reqs)
+                        )
                 if fast:
                     f_cycles += 1
                     if deliveries:
@@ -454,6 +599,7 @@ class Engine:
             counters=counters,
             trace=self.trace,
             message_log=message_log,
+            crashed_ranks=tuple(sorted(crashed)),
         )
 
     @staticmethod
@@ -464,15 +610,29 @@ class Engine:
     # -- legacy matcher (reference implementation) -----------------------------
 
     def _run_legacy(self) -> EngineResult:
-        """The original whole-snapshot rescan engine, kept as the oracle."""
+        """The original whole-snapshot rescan engine, kept as the oracle.
+
+        Fault injection follows the exact semantics of the indexed matcher
+        (crashes at cycle start, cut links unmatchable, drops blocking the
+        whole exchange, issue delays, per-request timeouts) so the
+        differential suite can compare the two under any plan.
+        """
         topo = self.topo
         n = topo.num_nodes
         counters = CostCounters(n)
+        fp = self._fp
         message_log: list[Message] | None = [] if self.log_messages else None
 
         gens: list[Generator[Request, Any, Any] | None] = [None] * n
         pending: dict[int, Request] = {}
         returns: list[Any] = [None] * n
+        cycle = 0
+
+        issue_cycle = [0] * n
+        ready_at = [0] * n
+        retry_count = [0] * n
+        crash_watch = set(fp.node_crashes) if fp is not None else set()
+        crashed: list[int] = []
 
         def advance(rank: int, value: Any) -> None:
             gen = gens[rank]
@@ -485,6 +645,10 @@ class Engine:
                 return
             self._validate(rank, req)
             pending[rank] = req
+            if fp is not None:
+                issue_cycle[rank] = cycle
+                retry_count[rank] = 0
+                ready_at[rank] = cycle + fp.issue_delay(rank, cycle)
 
         for rank in range(n):
             ctx = NodeCtx(rank, topo, counters, self.trace)
@@ -497,18 +661,41 @@ class Engine:
             gens[rank] = gen
             advance(rank, None)
 
-        cycle = 0
         while pending:
             cycle += 1
             if cycle > self.max_cycles:
                 raise DeadlockError(cycle, dict(pending))
+
+            if fp is not None and crash_watch:
+                for rank in sorted(crash_watch):
+                    if fp.node_crashes[rank] > cycle:
+                        continue
+                    crash_watch.discard(rank)
+                    crashed.append(rank)
+                    counters.record_crash()
+                    gen = gens[rank]
+                    if gen is not None:
+                        gen.close()
+                        gens[rank] = None
+                    pending.pop(rank, None)
+                if not pending:
+                    break
+
+            link_ok = (
+                None
+                if fp is None
+                else (lambda u, v, _c=cycle: fp.link_up(u, v, _c))
+            )
             snapshot = dict(pending)
             completed: dict[int, Any] = {}
             deliveries = 0
+            held = 0
 
             active: dict[int, Request] = {}
             for rank, req in snapshot.items():
-                if isinstance(req, Idle):
+                if fp is not None and ready_at[rank] > cycle:
+                    held += 1  # issue-delayed: invisible this cycle
+                elif isinstance(req, Idle):
                     completed[rank] = None
                 else:
                     active[rank] = req
@@ -522,29 +709,73 @@ class Engine:
             while changed:
                 changed = False
                 for rank in list(active):
-                    if not self._legs_satisfied(rank, active[rank], active):
+                    if not self._legs_satisfied(
+                        rank, active[rank], active, link_ok
+                    ):
                         del active[rank]
                         changed = True
 
+            # Fault plan: drop messages among the survivors, then re-prune
+            # (a dropped send blocks its whole exchange for this cycle).
+            drops_now = 0
+            if fp is not None and active:
+                dropped_ranks = [
+                    rank
+                    for rank, req in active.items()
+                    if (dst := self._send_leg_dst(req)) is not None
+                    and fp.dropped(rank, dst, cycle)
+                ]
+                for rank in dropped_ranks:
+                    drops_now += 1
+                    counters.record_drop()
+                    retry_count[rank] += 1
+                    if retry_count[rank] > fp.max_retries:
+                        raise RetryLimitError(
+                            rank, active[rank], retry_count[rank], cycle
+                        )
+                    del active[rank]
+                if dropped_ranks:
+                    changed = True
+                    while changed:
+                        changed = False
+                        for rank in list(active):
+                            if not self._legs_satisfied(
+                                rank, active[rank], active, link_ok
+                            ):
+                                del active[rank]
+                                changed = True
+
             for rank, req in active.items():
                 # Record this node's send leg (if any).
-                if isinstance(req, Send):
-                    dst, payload = req.dst, req.payload
-                elif isinstance(req, SendRecv):
-                    dst, payload = req.peer, req.payload
-                elif isinstance(req, Shift):
-                    dst, payload = req.dst, req.payload
-                else:
-                    dst = None
+                dst = self._send_leg_dst(req)
                 if dst is not None:
+                    payload = req.payload
                     counters.record_delivery(rank, dst, payload)
                     deliveries += 1
                     if message_log is not None:
                         message_log.append(Message(rank, dst, payload, cycle))
                 completed[rank] = self._incoming_payload(rank, req, active)
 
+            if fp is not None and fp.timeout is not None:
+                for rank in snapshot:
+                    if rank in completed or rank in active:
+                        continue
+                    if ready_at[rank] > cycle:
+                        continue  # held, not blocked
+                    if cycle - issue_cycle[rank] >= fp.timeout:
+                        counters.record_timeout()
+                        if fp.on_timeout == "raise":
+                            raise RequestTimeoutError(
+                                rank, snapshot[rank], cycle, fp.timeout
+                            )
+                        completed[rank] = FAULTED
+
             if not completed:
-                raise DeadlockError(cycle, dict(pending))
+                stalled_ok = fp is not None and (
+                    held or drops_now or fp.timeout is not None
+                )
+                if not stalled_ok:
+                    raise DeadlockError(cycle, dict(pending))
             counters.record_cycle(deliveries)
             for rank, value in completed.items():
                 del pending[rank]
@@ -556,11 +787,30 @@ class Engine:
             counters=counters,
             trace=self.trace,
             message_log=message_log,
+            crashed_ranks=tuple(sorted(crashed)),
         )
 
     @staticmethod
-    def _legs_satisfied(rank: int, req: Request, active: dict) -> bool:
-        """Whether every communication leg of ``req`` has a live counterpart."""
+    def _send_leg_dst(req: Request) -> int | None:
+        """Destination of ``req``'s send leg, or ``None`` for pure receives."""
+        if isinstance(req, (Send, Shift)):
+            return req.dst
+        if isinstance(req, SendRecv):
+            return req.peer
+        return None
+
+    @staticmethod
+    def _legs_satisfied(
+        rank: int, req: Request, active: dict, link_ok=None
+    ) -> bool:
+        """Whether every communication leg of ``req`` has a live counterpart.
+
+        ``link_ok(u, v)``, when given, additionally requires the leg's link
+        to be up under the active fault plan this cycle.
+        """
+
+        def up(other: int) -> bool:
+            return link_ok is None or link_ok(rank, other)
 
         def sends_to_me(src: int) -> bool:
             other = active.get(src)
@@ -575,14 +825,23 @@ class Engine:
             )
 
         if isinstance(req, Send):
-            return receives_from_me(req.dst)
+            return receives_from_me(req.dst) and up(req.dst)
         if isinstance(req, Recv):
-            return sends_to_me(req.src)
+            return sends_to_me(req.src) and up(req.src)
         if isinstance(req, SendRecv):
             other = active.get(req.peer)
-            return isinstance(other, SendRecv) and other.peer == rank
+            return (
+                isinstance(other, SendRecv)
+                and other.peer == rank
+                and up(req.peer)
+            )
         if isinstance(req, Shift):
-            return receives_from_me(req.dst) and sends_to_me(req.src)
+            return (
+                receives_from_me(req.dst)
+                and sends_to_me(req.src)
+                and up(req.dst)
+                and up(req.src)
+            )
         raise AssertionError(f"unexpected request {req!r}")  # pragma: no cover
 
     @staticmethod
@@ -633,6 +892,7 @@ def run_spmd(
     max_cycles: int = 1_000_000,
     matching: str | None = None,
     fast: bool | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -643,4 +903,5 @@ def run_spmd(
         max_cycles=max_cycles,
         matching=matching,
         fast=fast,
+        fault_plan=fault_plan,
     ).run()

@@ -7,6 +7,9 @@ __all__ = [
     "DeadlockError",
     "LinkError",
     "ProgramError",
+    "FaultError",
+    "RetryLimitError",
+    "RequestTimeoutError",
 ]
 
 
@@ -40,3 +43,35 @@ class LinkError(SimulationError):
 
 class ProgramError(SimulationError):
     """A node program misbehaved (bad request object, yielded after finish, …)."""
+
+
+class FaultError(SimulationError):
+    """Base class for failures of the fault-injection recovery machinery."""
+
+
+class RetryLimitError(FaultError):
+    """A request was dropped more times than the plan's ``max_retries`` allows."""
+
+    def __init__(self, rank: int, request, retries: int, cycle: int):
+        self.rank = rank
+        self.request = request
+        self.retries = retries
+        self.cycle = cycle
+        super().__init__(
+            f"rank {rank} exhausted {retries} retries for {request!r} "
+            f"by cycle {cycle}"
+        )
+
+
+class RequestTimeoutError(FaultError):
+    """A request stayed pending longer than the plan's ``timeout`` cycles."""
+
+    def __init__(self, rank: int, request, cycle: int, timeout: int):
+        self.rank = rank
+        self.request = request
+        self.cycle = cycle
+        self.timeout = timeout
+        super().__init__(
+            f"rank {rank} timed out after {timeout} cycles waiting on "
+            f"{request!r} (cycle {cycle})"
+        )

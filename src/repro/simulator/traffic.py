@@ -15,6 +15,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.simulator.errors import RetryLimitError
+from repro.simulator.faults import FaultPlan
 from repro.topology.base import Topology
 
 __all__ = ["TrafficStats", "random_pairs", "run_traffic", "hypercube_dimension_order_path"]
@@ -33,6 +35,7 @@ class TrafficStats:
     mean_link_load: float
     loaded_links: int
     num_links: int
+    retransmissions: int = 0
 
     @property
     def avg_hops(self) -> float:
@@ -100,14 +103,24 @@ def run_traffic(
     topo: Topology,
     router: Router,
     pairs: Sequence[tuple[int, int]],
+    *,
+    fault_plan: FaultPlan | None = None,
 ) -> TrafficStats:
     """Route every pair and aggregate hop/link-load statistics.
 
     Each traversed undirected link counts one unit of load per message
     crossing it (either direction).  Paths are validated hop by hop.
+
+    With a ``fault_plan``, each hop crossing is subject to the plan's
+    deterministic drop schedule (keyed by a global attempt counter, so a
+    given plan reproduces the same retransmissions bit-for-bit); a dropped
+    crossing is retransmitted — the failed attempt still loads the link —
+    bounded per hop by the plan's ``max_retries``.
     """
     load: Counter = Counter()
     total_hops = 0
+    retransmissions = 0
+    attempt = 0  # global attempt index: the "cycle" key for drop verdicts
     router_name = getattr(router, "__name__", repr(router))
     for u, v in pairs:
         raw = router(u, v)
@@ -125,8 +138,18 @@ def run_traffic(
                 raise ValueError(
                     f"router used non-edge ({a}, {b}) on {topo.name}"
                 )
-            load[(min(a, b), max(a, b))] += 1
-            total_hops += 1
+            link = (min(a, b), max(a, b))
+            tries = 0
+            while True:
+                attempt += 1
+                load[link] += 1
+                total_hops += 1
+                if fault_plan is None or not fault_plan.dropped(a, b, attempt):
+                    break
+                retransmissions += 1
+                tries += 1
+                if tries > fault_plan.max_retries:
+                    raise RetryLimitError((a, b), f"hop {a}->{b}", tries, attempt)
     num_links = sum(topo.degree(u) for u in topo.nodes()) // 2
     return TrafficStats(
         topology=topo.name,
@@ -138,6 +161,7 @@ def run_traffic(
         ),
         loaded_links=len(load),
         num_links=num_links,
+        retransmissions=retransmissions,
     )
 
 

@@ -29,9 +29,15 @@ class FaultSet:
         links: Iterable[tuple[int, int]] = (),
     ):
         self.nodes = frozenset(nodes)
-        self.links = frozenset(
-            (min(a, b), max(a, b)) for a, b in links
-        )
+        normed = set()
+        for a, b in links:
+            if a == b:
+                raise ValueError(
+                    f"faulty link ({a}, {b}) is a self-loop; links must join "
+                    f"two distinct nodes"
+                )
+            normed.add((min(a, b), max(a, b)))
+        self.links = frozenset(normed)
 
     @property
     def num_faults(self) -> int:
@@ -83,6 +89,11 @@ class FaultyTopology(Topology):
         for a, b in faults.links:
             if not base.has_edge(a, b):
                 raise ValueError(f"faulty link ({a}, {b}) is not an edge of {base.name}")
+        if len(faults.nodes) >= base.num_nodes:
+            raise ValueError(
+                f"fault set kills all {base.num_nodes} nodes of {base.name}; "
+                f"a faulty topology needs at least one healthy node"
+            )
 
     @property
     def name(self) -> str:

@@ -1,0 +1,207 @@
+"""Fault-tolerant execution of the paper's algorithms (``run_faulty``).
+
+The acceptance bar from the robustness campaign: at n=3 (32 nodes),
+``dual_prefix`` and ``dual_sort`` must complete with correct output under
+*every* single-node fault (all 2^(2n-1) choices except rank 0, where the
+degraded collective roots) in degraded mode, and under seeded
+message-drop plans with retry enabled.
+"""
+
+import pytest
+
+from repro.core import ADD, MAX, run_faulty, sequential_prefix
+from repro.core.run_faulty import FaultyRunResult
+from repro.simulator import FaultPlan
+from repro.topology import DualCube, FaultSet, RecursiveDualCube
+
+
+def _surviving_prefix_ok(data, res, op):
+    """Degraded-prefix contract: scan over surviving inputs, input order."""
+    survivors = [data[k] for k in range(len(data)) if res.values[k] is not None]
+    got = [v for v in res.values if v is not None]
+    assert got == sequential_prefix(survivors, op)
+
+
+def _surviving_sort_ok(keys, res):
+    """Degraded-sort contract: surviving keys sorted onto healthy addresses."""
+    got = [res.values[r] for r in res.healthy]
+    assert got == sorted(keys[r] for r in res.healthy)
+
+
+class TestDegradedPrefixExhaustive:
+    def test_every_single_node_fault_n3(self):
+        dc = DualCube(3)
+        data = [(i * 13) % 97 for i in range(dc.num_nodes)]
+        for f in range(1, dc.num_nodes):
+            res = run_faulty(
+                "prefix", dc, data, faults=FaultSet(nodes=[f]), mode="degraded"
+            )
+            assert res.excluded == (f,)
+            assert len(res.healthy) == dc.num_nodes - 1
+            _surviving_prefix_ok(data, res, ADD)
+
+    def test_single_link_faults_exclude_nobody(self):
+        dc = DualCube(3)
+        data = list(range(dc.num_nodes))
+        for u in range(0, dc.num_nodes, 5):
+            v = dc.neighbors(u)[0]
+            res = run_faulty(
+                "prefix", dc, data,
+                faults=FaultSet(links=[(u, v)]), mode="degraded",
+            )
+            assert res.excluded == ()  # n-connected: one link never splits it
+            assert list(res.values) == sequential_prefix(data, ADD)
+
+    def test_max_tolerated_node_faults(self):
+        # D_3 is 3-connected: any 2 node faults leave the rest connected.
+        dc = DualCube(3)
+        data = list(range(dc.num_nodes))
+        for pair in [(1, 2), (5, 20), (7, 31), (15, 16)]:
+            res = run_faulty(
+                "prefix", dc, data, faults=FaultSet(nodes=pair), mode="degraded"
+            )
+            assert res.excluded == tuple(sorted(pair))
+            _surviving_prefix_ok(data, res, ADD)
+
+    def test_non_commutative_op_order(self):
+        dc = DualCube(2)
+        data = [f"c{i}" for i in range(dc.num_nodes)]
+        from repro.core.ops import AssocOp
+        strcat = AssocOp("strcat", lambda a, b: a + b, "", commutative=False)
+        res = run_faulty(
+            "prefix", dc, data, op=strcat,
+            faults=FaultSet(nodes=[3]), mode="degraded",
+        )
+        _surviving_prefix_ok(data, res, strcat)
+
+
+class TestDegradedSortExhaustive:
+    def test_every_single_node_fault_n3(self):
+        rdc = RecursiveDualCube(3)
+        keys = [(i * 17) % 32 for i in range(rdc.num_nodes)]
+        for f in range(1, rdc.num_nodes):
+            res = run_faulty(
+                "sort", rdc, keys, faults=FaultSet(nodes=[f]), mode="degraded"
+            )
+            assert res.excluded == (f,)
+            assert res.values[f] is None
+            _surviving_sort_ok(keys, res)
+
+    def test_descending(self):
+        rdc = RecursiveDualCube(2)
+        keys = [(i * 3) % 8 for i in range(rdc.num_nodes)]
+        res = run_faulty(
+            "sort", rdc, keys, faults=FaultSet(nodes=[2]),
+            mode="degraded", descending=True,
+        )
+        got = [res.values[r] for r in res.healthy]
+        assert got == sorted((keys[r] for r in res.healthy), reverse=True)
+
+
+class TestReroute:
+    def test_reroute_matches_degraded_values(self):
+        dc = DualCube(3)
+        data = [(i * 7) % 41 for i in range(dc.num_nodes)]
+        for faults in [FaultSet(nodes=[9]), FaultSet(nodes=[3, 28]),
+                       FaultSet(links=[(0, dc.neighbors(0)[0])])]:
+            d = run_faulty("prefix", dc, data, faults=faults, mode="degraded")
+            r = run_faulty("prefix", dc, data, faults=faults, mode="reroute")
+            assert r.values == d.values
+            assert r.excluded == d.excluded
+
+    def test_reroute_sort_on_recursive_presentation(self):
+        # RecursiveDualCube has no closed-form distance metric, so reroute
+        # falls back to BFS routing; results still match degraded mode.
+        rdc = RecursiveDualCube(2)
+        keys = [7, 2, 5, 0, 6, 1, 4, 3]
+        d = run_faulty("sort", rdc, keys, faults=FaultSet(nodes=[4]), mode="degraded")
+        r = run_faulty("sort", rdc, keys, faults=FaultSet(nodes=[4]), mode="reroute")
+        assert r.values == d.values
+
+    def test_reroute_serializes_more_steps(self):
+        dc = DualCube(2)
+        data = list(range(dc.num_nodes))
+        d = run_faulty("prefix", dc, data, faults=FaultSet(nodes=[5]), mode="degraded")
+        r = run_faulty("prefix", dc, data, faults=FaultSet(nodes=[5]), mode="reroute")
+        assert r.comm_steps >= d.comm_steps
+
+
+class TestRetry:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_prefix_under_seeded_drops_equals_fault_free(self, seed):
+        dc = DualCube(3)
+        data = [(i * 11) % 64 for i in range(dc.num_nodes)]
+        plan = FaultPlan(drop_rate=0.05, seed=seed, max_retries=500)
+        res = run_faulty("prefix", dc, data, plan=plan, mode="retry")
+        assert list(res.values) == sequential_prefix(data, ADD)
+        assert res.excluded == ()
+        assert res.result.counters.retries == res.result.counters.messages_dropped
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_sort_under_seeded_drops_equals_fault_free(self, seed):
+        rdc = RecursiveDualCube(3)
+        keys = [(i * 23) % 32 for i in range(rdc.num_nodes)]
+        plan = FaultPlan(drop_rate=0.05, seed=seed, max_retries=500)
+        res = run_faulty("sort", rdc, keys, plan=plan, mode="retry")
+        assert list(res.values) == sorted(keys)
+
+    def test_delays_also_recovered(self):
+        dc = DualCube(2)
+        data = list(range(dc.num_nodes))
+        plan = FaultPlan(delay_rate=0.3, max_delay=2, seed=4)
+        res = run_faulty("prefix", dc, data, op=MAX, plan=plan, mode="retry")
+        assert list(res.values) == sequential_prefix(data, MAX)
+
+    def test_retry_rejects_permanent_faults(self):
+        dc = DualCube(2)
+        data = list(range(dc.num_nodes))
+        with pytest.raises(ValueError, match="permanent"):
+            run_faulty(
+                "prefix", dc, data,
+                plan=FaultPlan(node_crashes={1: 1}), mode="retry",
+            )
+        with pytest.raises(ValueError, match="permanent"):
+            run_faulty(
+                "prefix", dc, data,
+                plan=FaultPlan(link_cuts={(0, dc.neighbors(0)[0]): 1}),
+                mode="retry",
+            )
+
+    def test_retry_requires_a_plan(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError, match="needs a FaultPlan"):
+            run_faulty("prefix", dc, list(range(dc.num_nodes)), mode="retry")
+
+
+class TestInputValidation:
+    def test_bad_kind_and_mode(self):
+        dc = DualCube(2)
+        data = list(range(dc.num_nodes))
+        with pytest.raises(ValueError, match="kind"):
+            run_faulty("scan", dc, data)
+        with pytest.raises(ValueError, match="mode"):
+            run_faulty("prefix", dc, data, mode="yolo")
+
+    def test_wrong_data_length(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError, match="data items"):
+            run_faulty("prefix", dc, [1, 2, 3])
+
+    def test_degraded_rejects_transient_plan(self):
+        dc = DualCube(2)
+        data = list(range(dc.num_nodes))
+        with pytest.raises(ValueError, match="retry"):
+            run_faulty(
+                "prefix", dc, data,
+                plan=FaultPlan(drop_rate=0.5), mode="degraded",
+            )
+
+    def test_result_shape(self):
+        dc = DualCube(2)
+        data = list(range(dc.num_nodes))
+        res = run_faulty("prefix", dc, data, faults=FaultSet(nodes=[1]))
+        assert isinstance(res, FaultyRunResult)
+        assert res.mode == "degraded"
+        assert res.kind == "prefix"
+        assert len(res.values) == dc.num_nodes
+        assert set(res.healthy) | set(res.excluded) == set(range(dc.num_nodes))

@@ -43,7 +43,23 @@ class TestRunBench:
             ("large_prefix_b8", "vectorized"),
             ("large_sort_b8", "vectorized"),
             ("run_traffic", "router"),
+            ("fault_prefix", "degraded-node"),
+            ("fault_prefix", "degraded-link"),
+            ("fault_prefix", "retry-drop"),
+            ("fault_sort", "degraded-node"),
+            ("fault_sort", "degraded-link"),
+            ("fault_sort", "retry-drop"),
         }
+
+    def test_faults_only_runs_just_the_fault_family(self):
+        payload = run_bench(smoke=True, max_n=2, faults_only=True)
+        assert payload["suite"] == "faults"
+        benches = {r["bench"] for r in payload["records"]}
+        assert benches == {"fault_prefix", "fault_sort"}
+        drops = {r["backend"]: r["messages_dropped"] for r in payload["records"]}
+        assert drops["retry-drop"] > 0 or any(
+            r["messages_dropped"] > 0 for r in payload["records"]
+        )
 
     def test_records_have_sane_costs(self, smoke_payload):
         for r in smoke_payload["records"]:
@@ -51,6 +67,9 @@ class TestRunBench:
             assert r["num_nodes"] == 2 ** (2 * r["n"] - 1)
             assert r["messages"] > 0
             assert r["comm_steps"] >= 0
+            assert r["messages_dropped"] >= 0
+            assert r["retries"] >= 0
+            assert r["timeouts"] == 0
 
     def test_engine_and_vectorized_agree_on_comm_steps(self, smoke_payload):
         by_key = {(r["bench"], r["backend"]): r for r in smoke_payload["records"]}

@@ -1,0 +1,139 @@
+"""Property-based fault-tolerance campaign for the dual-cube routers.
+
+D_n is n-connected, so with at most n-1 node faults the healthy subgraph
+stays connected and every router must succeed between healthy endpoints.
+Hypothesis drives random fault sets and endpoint pairs through D_2..D_4
+checking: ``adaptive_route`` always succeeds, respects its ``max_hops``
+bound, only walks healthy edges, and agrees with ``ft_route`` on
+reachability; ``node_disjoint_paths`` yields exactly n internally
+disjoint paths on the intact network.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing.fault_tolerant import (
+    adaptive_route,
+    ft_route,
+    node_disjoint_paths,
+)
+from repro.topology import DualCube, FaultSet, FaultyTopology
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def faulted_scenario(draw, n):
+    """(FaultSet of <= n-1 node faults, healthy endpoints u != v) on D_n."""
+    dc = DualCube(n)
+    num_faults = draw(st.integers(min_value=0, max_value=n - 1))
+    faulty = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=dc.num_nodes - 1),
+            min_size=num_faults,
+            max_size=num_faults,
+            unique=True,
+        )
+    )
+    healthy = sorted(set(range(dc.num_nodes)) - set(faulty))
+    u = draw(st.sampled_from(healthy))
+    v = draw(st.sampled_from(healthy))
+    return FaultSet(nodes=faulty), u, v
+
+
+def _walk_is_valid(ftopo, walk, u, v):
+    assert walk[0] == u and walk[-1] == v
+    for a, b in zip(walk, walk[1:]):
+        assert ftopo.has_edge(a, b), f"walk used dead edge ({a}, {b})"
+
+
+class TestAdaptiveRouteProperties:
+    @pytest.mark.parametrize("n", [2, 3])
+    @settings(max_examples=60, **COMMON)
+    @given(data=st.data())
+    def test_succeeds_under_max_node_faults(self, n, data):
+        faults, u, v = data.draw(faulted_scenario(n))
+        dc = DualCube(n)
+        ftopo = FaultyTopology(dc, faults)
+        walk = adaptive_route(ftopo, dc, u, v)
+        assert walk is not None, (
+            f"adaptive_route failed on D_{n} with {faults} for {u}->{v}"
+        )
+        _walk_is_valid(ftopo, walk, u, v)
+
+    @pytest.mark.slow
+    @settings(max_examples=25, **COMMON)
+    @given(data=st.data())
+    def test_succeeds_under_max_node_faults_d4(self, data):
+        faults, u, v = data.draw(faulted_scenario(4))
+        dc = DualCube(4)
+        ftopo = FaultyTopology(dc, faults)
+        walk = adaptive_route(ftopo, dc, u, v)
+        assert walk is not None
+        _walk_is_valid(ftopo, walk, u, v)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    @settings(max_examples=40, **COMMON)
+    @given(data=st.data())
+    def test_walk_respects_max_hops_bound(self, n, data):
+        faults, u, v = data.draw(faulted_scenario(n))
+        dc = DualCube(n)
+        ftopo = FaultyTopology(dc, faults)
+        bound = 4 * dc.diameter() + 4 * faults.num_faults + 8
+        walk = adaptive_route(ftopo, dc, u, v, max_hops=bound)
+        assert walk is not None
+        assert len(walk) - 1 <= bound
+
+    @pytest.mark.parametrize("n", [2, 3])
+    @settings(max_examples=40, **COMMON)
+    @given(data=st.data())
+    def test_agrees_with_ft_route_reachability(self, n, data):
+        faults, u, v = data.draw(faulted_scenario(n))
+        dc = DualCube(n)
+        ftopo = FaultyTopology(dc, faults)
+        bfs = ft_route(ftopo, u, v)
+        walk = adaptive_route(ftopo, dc, u, v)
+        # <= n-1 node faults never disconnect D_n, so both must succeed;
+        # the greedy walk may backtrack but never beats the BFS shortest.
+        assert bfs is not None and walk is not None
+        assert len(walk) >= len(bfs)
+        if u == v:
+            assert walk == [u] == bfs
+
+
+class TestNodeDisjointPathsProperties:
+    @pytest.mark.parametrize("n", [2, 3])
+    @settings(max_examples=25, **COMMON)
+    @given(data=st.data())
+    def test_exactly_n_disjoint_paths_on_intact_dn(self, n, data):
+        dc = DualCube(n)
+        u = data.draw(st.integers(min_value=0, max_value=dc.num_nodes - 1))
+        v = data.draw(st.integers(min_value=0, max_value=dc.num_nodes - 1))
+        if u == v:
+            v = (v + 1) % dc.num_nodes
+        paths = node_disjoint_paths(dc, u, v)
+        assert len(paths) == n  # Menger: connectivity of D_n is exactly n
+        interiors = [set(p[1:-1]) for p in paths]
+        for i, a in enumerate(interiors):
+            for b in interiors[i + 1:]:
+                assert not (a & b), "paths share an interior node"
+        for p in paths:
+            assert p[0] == u and p[-1] == v
+            for x, y in zip(p, p[1:]):
+                assert dc.has_edge(x, y)
+
+    @pytest.mark.slow
+    @settings(max_examples=8, **COMMON)
+    @given(data=st.data())
+    def test_exactly_n_disjoint_paths_on_intact_d4(self, data):
+        dc = DualCube(4)
+        u = data.draw(st.integers(min_value=0, max_value=dc.num_nodes - 1))
+        v = data.draw(st.integers(min_value=0, max_value=dc.num_nodes - 1))
+        if u == v:
+            v = (v + 1) % dc.num_nodes
+        paths = node_disjoint_paths(dc, u, v)
+        assert len(paths) == 4

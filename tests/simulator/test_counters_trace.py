@@ -143,7 +143,23 @@ class TestCostCounters:
             "max_message_payload",
             "max_node_ops",
             "total_ops",
+            "messages_dropped",
+            "retries",
+            "timeouts",
+            "node_crashes",
         }
+
+    def test_fault_counter_hooks(self):
+        c = CostCounters(2)
+        c.record_drop()
+        c.record_drop()
+        c.record_timeout()
+        c.record_crash()
+        s = c.summary()
+        assert s["messages_dropped"] == 2
+        assert s["retries"] == 2
+        assert s["timeouts"] == 1
+        assert s["node_crashes"] == 1
 
     def test_repr_contains_summary(self):
         assert "comm_steps=0" in repr(CostCounters(2))

@@ -1,0 +1,322 @@
+"""Fault-injection layer: FaultPlan schedules + engine recovery semantics.
+
+Covers plan validation, determinism of the seeded drop/delay hash, the
+engine's crash/cut/drop/delay/timeout behaviors under both matchers, and
+the headline differential guarantee: an *empty* plan is byte-identical to
+no plan at all.
+"""
+
+import pytest
+
+from repro.core.dual_prefix import dual_prefix_engine
+from repro.core.dual_sort import dual_sort_engine
+from repro.core.ops import ADD
+from repro.simulator import (
+    FAULTED,
+    FaultPlan,
+    Idle,
+    Recv,
+    RequestTimeoutError,
+    RetryLimitError,
+    Send,
+    SendRecv,
+    run_spmd,
+    use_fault_plan,
+    use_matching,
+)
+from repro.topology import DualCube, Hypercube, RecursiveDualCube
+
+MATCHERS = ["indexed", "legacy"]
+
+
+def pairswap(ctx):
+    """Every rank swaps with its bit-0 neighbor (D_1 and hypercubes)."""
+    peer = ctx.rank ^ 1
+    got = yield SendRecv(peer, ctx.rank)
+    return got
+
+
+def _fingerprint(result):
+    return {
+        "returns": list(result.returns),
+        "summary": result.counters.summary(),
+        "sends": result.counters.sends.tolist(),
+        "recvs": result.counters.recvs.tolist(),
+        "active_cycles": result.counters.active_cycles,
+        "crashed": result.crashed_ranks,
+    }
+
+
+class TestFaultPlanValidation:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(drop_rate=0.1).is_empty
+        assert not FaultPlan(node_crashes={0: 1}).is_empty
+        assert not FaultPlan(timeout=5).is_empty
+
+    def test_self_loop_link_cut_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            FaultPlan(link_cuts={(3, 3): 1})
+
+    def test_self_loop_drop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            FaultPlan(drops=[(2, 2, 1)])
+
+    @pytest.mark.parametrize("kw", [
+        {"drop_rate": -0.1},
+        {"drop_rate": 1.5},
+        {"delay_rate": 2.0},
+        {"max_delay": 0},
+        {"max_retries": -1},
+        {"timeout": 0},
+        {"on_timeout": "explode"},
+        {"node_crashes": {0: 0}},
+        {"link_cuts": {(0, 1): 0}},
+        {"delays": {(0, 0): 0}},
+    ])
+    def test_bad_parameters_rejected(self, kw):
+        with pytest.raises(ValueError):
+            FaultPlan(**kw)
+
+    def test_validate_for_checks_nodes_and_links(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            FaultPlan(node_crashes={dc.num_nodes: 1}).validate_for(dc)
+        # (0, 3) differ in two bits: never a dual-cube edge.
+        with pytest.raises(ValueError, match="not an edge"):
+            FaultPlan(link_cuts={(0, 3): 1}).validate_for(dc)
+
+    def test_link_cuts_normalized(self):
+        plan = FaultPlan(link_cuts={(1, 0): 2})
+        assert not plan.link_up(0, 1, 2)
+        assert not plan.link_up(1, 0, 2)
+        assert plan.link_up(0, 1, 1)  # before the cut fires
+
+
+class TestDeterminism:
+    def test_drop_verdicts_are_pure(self):
+        a = FaultPlan(drop_rate=0.3, seed=11)
+        b = FaultPlan(drop_rate=0.3, seed=11)
+        verdicts_a = [a.dropped(s, d, c) for s in range(4) for d in range(4)
+                      for c in range(1, 20) if s != d]
+        verdicts_b = [b.dropped(s, d, c) for s in range(4) for d in range(4)
+                      for c in range(1, 20) if s != d]
+        assert verdicts_a == verdicts_b
+        assert any(verdicts_a) and not all(verdicts_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(drop_rate=0.5, seed=1)
+        b = FaultPlan(drop_rate=0.5, seed=2)
+        va = [a.dropped(0, 1, c) for c in range(1, 200)]
+        vb = [b.dropped(0, 1, c) for c in range(1, 200)]
+        assert va != vb
+
+    def test_delay_draws_bounded(self):
+        plan = FaultPlan(delay_rate=1.0, max_delay=3, seed=5)
+        for r in range(8):
+            for c in range(10):
+                assert 1 <= plan.issue_delay(r, c) <= 3
+
+    def test_explicit_delay_precedes_rate(self):
+        plan = FaultPlan(delay_rate=1.0, max_delay=3, delays={(0, 0): 7})
+        assert plan.issue_delay(0, 0) == 7
+
+
+class TestEmptyPlanDifferential:
+    """Empty FaultPlan == no plan, byte for byte, under both matchers."""
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_dual_prefix_identical(self, matching):
+        dc = DualCube(2)
+        vals = list(range(dc.num_nodes))
+        with use_matching(matching):
+            _, bare = dual_prefix_engine(dc, vals, ADD)
+            with use_fault_plan(FaultPlan()):
+                _, planned = dual_prefix_engine(dc, vals, ADD)
+        assert _fingerprint(planned) == _fingerprint(bare)
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_dual_sort_identical(self, matching):
+        rdc = RecursiveDualCube(2)
+        keys = [(i * 5) % rdc.num_nodes for i in range(rdc.num_nodes)]
+        with use_matching(matching):
+            _, bare = dual_sort_engine(rdc, keys)
+            with use_fault_plan(FaultPlan()):
+                _, planned = dual_sort_engine(rdc, keys)
+        assert _fingerprint(planned) == _fingerprint(bare)
+
+    def test_empty_plan_keeps_fast_mode(self):
+        from repro.simulator.engine import Engine
+        dc = DualCube(1)
+        eng = Engine(dc, pairswap, fault_plan=FaultPlan())
+        assert eng.fast  # the pristine fast path stays eligible
+
+    def test_active_plan_disables_fast_mode(self):
+        from repro.simulator.engine import Engine
+        dc = DualCube(1)
+        eng = Engine(dc, pairswap, fault_plan=FaultPlan(drop_rate=0.1))
+        assert not eng.fast
+        with pytest.raises(ValueError, match="fast=True"):
+            Engine(dc, pairswap, fast=True, fault_plan=FaultPlan(drop_rate=0.1))
+
+
+class TestDropsAndRetries:
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_explicit_drop_forces_one_retry(self, matching):
+        dc = DualCube(1)
+        plan = FaultPlan(drops={(0, 1, 1)})
+        r = run_spmd(dc, pairswap, fault_plan=plan, matching=matching)
+        assert r.comm_steps == 2  # one blocked cycle, then the retry lands
+        assert r.counters.messages_dropped == 1
+        assert r.counters.retries == 1
+        assert r.returns[0] == 1 and r.returns[1] == 0
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_certain_drop_exhausts_retries(self, matching):
+        dc = DualCube(1)
+        plan = FaultPlan(drop_rate=1.0, max_retries=4)
+        with pytest.raises(RetryLimitError) as exc:
+            run_spmd(dc, pairswap, fault_plan=plan, matching=matching)
+        assert exc.value.retries == 5
+
+    def test_matchers_agree_under_seeded_drops(self):
+        h = Hypercube(3)
+        plan = FaultPlan(drop_rate=0.25, seed=3, max_retries=100)
+        a = run_spmd(h, pairswap, fault_plan=plan, matching="indexed")
+        b = run_spmd(h, pairswap, fault_plan=plan, matching="legacy")
+        assert _fingerprint(a) == _fingerprint(b)
+        assert a.counters.messages_dropped > 0
+
+    def test_drop_blocks_both_sides_of_exchange(self):
+        # Only 0->1 is scheduled to drop, but the whole SendRecv exchange
+        # stays pending, so neither direction delivers that cycle.
+        dc = DualCube(1)
+        plan = FaultPlan(drops={(0, 1, 1)})
+        r = run_spmd(dc, pairswap, fault_plan=plan, log_messages=True)
+        cycle1 = [m for m in r.message_log if m.cycle == 1]
+        assert all(0 not in (m.src, m.dst) for m in cycle1)
+
+
+class TestDelays:
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_explicit_delay_stretches_run(self, matching):
+        dc = DualCube(1)
+        plan = FaultPlan(delays={(0, 0): 3})
+        r = run_spmd(dc, pairswap, fault_plan=plan, matching=matching)
+        assert r.comm_steps == 3  # held for cycles 1-2, lands at 3
+        assert r.returns[0] == 1
+
+    def test_matchers_agree_under_seeded_delays(self):
+        h = Hypercube(3)
+        plan = FaultPlan(delay_rate=0.5, max_delay=2, seed=9)
+        a = run_spmd(h, pairswap, fault_plan=plan, matching="indexed")
+        b = run_spmd(h, pairswap, fault_plan=plan, matching="legacy")
+        assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestCrashesAndTimeouts:
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_crash_with_cancel_resumes_faulted(self, matching):
+        dc = DualCube(1)
+        plan = FaultPlan(node_crashes={1: 1}, timeout=3, on_timeout="cancel")
+        r = run_spmd(dc, pairswap, fault_plan=plan, matching=matching)
+        assert r.crashed_ranks == (1,)
+        assert r.returns[0] is FAULTED
+        assert r.returns[1] is None
+        assert r.counters.node_crashes == 1
+        assert r.counters.timeouts == 1
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_link_cut_timeout_raises(self, matching):
+        dc = DualCube(1)
+        plan = FaultPlan(link_cuts={(0, 1): 1}, timeout=2)
+        with pytest.raises(RequestTimeoutError) as exc:
+            run_spmd(dc, pairswap, fault_plan=plan, matching=matching)
+        assert exc.value.rank in (0, 1)
+        assert exc.value.timeout == 2
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_late_link_cut_lets_early_traffic_through(self, matching):
+        h = Hypercube(1)
+
+        def two_swaps(ctx):
+            first = yield SendRecv(ctx.rank ^ 1, ("a", ctx.rank))
+            second = yield SendRecv(ctx.rank ^ 1, ("b", ctx.rank))
+            return (first, second)
+
+        plan = FaultPlan(link_cuts={(0, 1): 2}, timeout=2, on_timeout="cancel")
+        r = run_spmd(h, two_swaps, fault_plan=plan, matching=matching)
+        assert r.returns[0][0] == ("a", 1)  # cycle 1 predates the cut
+        assert r.returns[0][1] is FAULTED  # cycle 2 exchange never matches
+
+    def test_cancelled_rank_can_reroute(self):
+        # Rank 0's partner crashes; after FAULTED it reroutes the payload
+        # to its other neighbor, exercising the recovery hook end-to-end.
+        h = Hypercube(2)  # nodes 0..3, 0 is adjacent to 1 and 2
+
+        def program(ctx):
+            if ctx.rank == 0:
+                got = yield SendRecv(1, "hello")
+                if got is FAULTED:
+                    got = yield SendRecv(2, "hello")
+                return got
+            if ctx.rank == 2:
+                got = yield Idle()
+                got = yield SendRecv(0, "fallback")
+                return got
+            if ctx.rank == 3:
+                return None
+            got = yield SendRecv(0, "primary")  # rank 1: crashes first
+            return got
+
+        plan = FaultPlan(node_crashes={1: 1}, timeout=1, on_timeout="cancel")
+        r = run_spmd(h, program, fault_plan=plan)
+        assert r.returns[0] == "fallback"
+        assert r.returns[2] == "hello"
+        assert r.crashed_ranks == (1,)
+
+    def test_crash_before_any_cycle_discards_program(self):
+        dc = DualCube(1)
+        plan = FaultPlan(node_crashes={0: 1, 1: 1})
+        r = run_spmd(dc, pairswap, fault_plan=plan)
+        assert r.crashed_ranks == (0, 1)
+        assert r.returns == [None] * dc.num_nodes
+
+
+class TestTrafficFaults:
+    def test_retransmissions_counted_and_deterministic(self):
+        from repro.simulator.traffic import run_traffic
+        dc = DualCube(2)
+        from repro.routing.dualcube_routing import route
+        pairs = [(0, 5), (3, 6), (1, 4)]
+        plan = FaultPlan(drop_rate=0.3, seed=13, max_retries=50)
+        a = run_traffic(dc, lambda u, v: route(dc, u, v), pairs, fault_plan=plan)
+        b = run_traffic(dc, lambda u, v: route(dc, u, v), pairs, fault_plan=plan)
+        clean = run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+        assert a == b
+        assert a.retransmissions > 0
+        assert clean.retransmissions == 0
+        assert a.total_hops == clean.total_hops + a.retransmissions
+
+    def test_certain_drop_exhausts_hop_retries(self):
+        from repro.simulator.traffic import run_traffic
+        dc = DualCube(1)
+        plan = FaultPlan(drop_rate=1.0, max_retries=3)
+        with pytest.raises(RetryLimitError):
+            run_traffic(dc, lambda u, v: [u, v], [(0, 1)], fault_plan=plan)
+
+
+class TestUseFaultPlan:
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            with use_fault_plan("not a plan"):
+                pass
+
+    def test_nested_runs_inherit_and_restore(self):
+        dc = DualCube(1)
+        plan = FaultPlan(drops={(0, 1, 1)})
+        with use_fault_plan(plan):
+            r = run_spmd(dc, pairswap)
+            assert r.counters.messages_dropped == 1
+        r = run_spmd(dc, pairswap)
+        assert r.counters.messages_dropped == 0

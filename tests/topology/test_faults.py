@@ -43,6 +43,14 @@ class TestFaultSet:
         with pytest.raises(ValueError):
             FaultSet.random(dc, 0, 99, rng)
 
+    def test_self_loop_link_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            FaultSet(links=[(4, 4)])
+
+    def test_self_loop_among_valid_links_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            FaultSet(links=[(0, 1), (2, 2)])
+
 
 class TestFaultyTopology:
     def test_faulty_node_isolated(self):
@@ -77,6 +85,16 @@ class TestFaultyTopology:
         dc = DualCube(2)
         with pytest.raises(ValueError):
             FaultyTopology(dc, FaultSet(nodes=[99]))
+
+    def test_faulting_every_node_rejected(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError, match="healthy node"):
+            FaultyTopology(dc, FaultSet(nodes=range(dc.num_nodes)))
+
+    def test_one_survivor_is_fine(self):
+        dc = DualCube(2)
+        ft = FaultyTopology(dc, FaultSet(nodes=range(1, dc.num_nodes)))
+        assert ft.healthy_nodes() == [0]
 
     def test_name_mentions_fault_count(self):
         dc = DualCube(2)
