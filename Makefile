@@ -1,13 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke bench-faults-smoke bench
+.PHONY: check test lint check-schedule bench-smoke bench-faults-smoke bench
 
-## check: tier-1 test suite + bench smoke runs (what CI gates on)
-check: test bench-smoke bench-faults-smoke
+## check: tier-1 tests + static analysis + bench smoke runs (what CI gates on)
+check: test lint check-schedule bench-smoke bench-faults-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## lint: repo-wide AST lint (REP001-REP005) over src/
+lint:
+	$(PYTHON) -m repro lint src
+
+## check-schedule: static Theorem 1/2 schedule verification, D_2..D_5
+check-schedule:
+	$(PYTHON) -m repro check-schedule
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out BENCH_smoke.json

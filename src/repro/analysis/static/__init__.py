@@ -1,0 +1,83 @@
+"""Static analysis of communication schedules and repo source.
+
+The paper's theorems are *static* claims about communication schedules:
+D_prefix finishes within 2n+1 communication / 2n computation steps,
+D_sort within 6n²-3n-2 / 2n²-n, and every message travels along a real
+dual-cube edge.  This subsystem checks those claims without trusting a
+dynamic run:
+
+* :mod:`repro.analysis.static.schedule` — the :class:`CommSchedule` IR:
+  a topology-agnostic per-step record of every message transfer;
+* :mod:`repro.analysis.static.extract` — obtains a :class:`CommSchedule`
+  from any SPMD program (record-only lockstep interpretation) or from an
+  engine message log;
+* :mod:`repro.analysis.static.checkers` — edge legality against any
+  :class:`~repro.topology.base.Topology`, send/recv pairing with
+  wait-for-graph deadlock/orphan diagnosis, 1-port and per-link
+  congestion bounds, and theorem step-count bounds;
+* :mod:`repro.analysis.static.theorems` — Theorem 1/2 verification
+  drivers over D_2..D_5 plus schedule cases for every engine algorithm
+  in :mod:`repro.core`;
+* :mod:`repro.analysis.static.lint` — a stdlib-``ast`` repo linter with
+  repro-specific rules (``repro lint``).
+
+See ``docs/static-analysis.md`` for the full tour.
+"""
+
+from repro.analysis.static.schedule import (
+    BlockedOp,
+    CommEvent,
+    CommSchedule,
+    Violation,
+)
+from repro.analysis.static.extract import (
+    RecordingCtx,
+    extract_schedule,
+    schedule_from_messages,
+)
+from repro.analysis.static.checkers import (
+    check_bounds,
+    check_congestion,
+    check_edge_legality,
+    check_pairing,
+    run_schedule_checks,
+)
+from repro.analysis.static.theorems import (
+    ScheduleReport,
+    core_schedule_cases,
+    verify_prefix_schedule,
+    verify_sort_schedule,
+    verify_theorems,
+)
+from repro.analysis.static.lint import (
+    LINT_RULES,
+    LintViolation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "BlockedOp",
+    "CommEvent",
+    "CommSchedule",
+    "Violation",
+    "RecordingCtx",
+    "extract_schedule",
+    "schedule_from_messages",
+    "check_bounds",
+    "check_congestion",
+    "check_edge_legality",
+    "check_pairing",
+    "run_schedule_checks",
+    "ScheduleReport",
+    "core_schedule_cases",
+    "verify_prefix_schedule",
+    "verify_sort_schedule",
+    "verify_theorems",
+    "LINT_RULES",
+    "LintViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,270 @@
+"""Repo-wide AST linter (stdlib ``ast`` only — no third-party deps).
+
+Rules encode this repo's source conventions; the simulator and analysis
+code must stay deterministic, raise real exceptions, and keep a declared
+public surface:
+
+* **REP001 no-assert** — ``assert`` in library code vanishes under
+  ``python -O``; raise ``ValueError``/``ProgramError`` instead.
+* **REP002 unseeded-random** — global-state RNG calls
+  (``random.random()``, ``np.random.rand()``, bare ``default_rng()``)
+  make runs irreproducible; construct a seeded generator.
+* **REP003 bare-except** — ``except:`` swallows ``KeyboardInterrupt``
+  and hides simulator errors; name the exception.
+* **REP004 print-call** — library modules must stay silent; printing is
+  the CLI's and the viz layer's job (``cli.py`` and ``viz/`` are exempt).
+* **REP005 missing-__all__** — a module defining public functions or
+  classes must declare ``__all__`` so the public surface is explicit.
+
+Suppress a finding in place with ``# noqa`` (all rules) or
+``# noqa: REP001,REP004`` (specific rules).  ``repro lint`` runs
+:func:`lint_paths` over ``src/`` and exits non-zero on any finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "LINT_RULES",
+    "LintViolation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+LINT_RULES = {
+    "REP001": "assert statement in library code (stripped under python -O)",
+    "REP002": "unseeded / global-state RNG call (irreproducible runs)",
+    "REP003": "bare except: swallows KeyboardInterrupt and simulator errors",
+    "REP004": "print() in library code (only cli.py and viz/ may print)",
+    "REP005": "module defines public names but declares no __all__",
+}
+
+# Directory names never descended into by lint_paths.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    "build",
+    "dist",
+    ".venv",
+    "tests",
+}
+
+# RNG callables that are fine unconditionally: they wrap explicit state
+# (Generator takes a seeded bit generator) or OS entropy by design.
+_RNG_ALWAYS_OK = {"Generator", "SystemRandom", "BitGenerator"}
+# Constructors that are reproducible exactly when given an explicit seed.
+_RNG_SEEDED_CTORS = {
+    "default_rng",
+    "Random",
+    "SeedSequence",
+    "PCG64",
+    "MT19937",
+    "Philox",
+    "RandomState",
+}
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.I)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One lint finding: rule ``code`` at ``path:line``."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _noqa_map(source: str) -> dict[int, set[str] | None]:
+    """Per-line suppressions: ``None`` = all rules, else a code set."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted path, from every import statement."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                local = a.asname or a.name.split(".")[0]
+                canonical = a.name if a.asname else a.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _canonical_call(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted path of the called symbol, aliases resolved."""
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    root = aliases.get(head, head)
+    return f"{root}.{rest}" if rest else root
+
+
+def _rng_finding(canonical: str, nargs: int) -> str | None:
+    """REP002 message for a call to ``canonical``, or None if fine."""
+    for prefix in ("numpy.random.", "random."):
+        if canonical.startswith(prefix):
+            tail = canonical[len(prefix):]
+            break
+    else:
+        return None
+    if "." in tail or tail in _RNG_ALWAYS_OK:
+        return None
+    if tail in _RNG_SEEDED_CTORS:
+        if nargs == 0:
+            return (
+                f"{canonical}() without an explicit seed; "
+                f"pass a seed for reproducible runs"
+            )
+        return None
+    return (
+        f"{canonical}() draws from global RNG state; "
+        f"use a seeded generator (numpy.random.default_rng(seed))"
+    )
+
+
+def _missing_all(tree: ast.Module, path: str) -> bool:
+    """True when the module defines public names but no ``__all__``."""
+    base = os.path.basename(path)
+    if base.startswith("_") and base != "__init__.py":
+        return False
+    has_public = False
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and not node.name.startswith("_"):
+            has_public = True
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, ast.Name) and t.id == "__all__":
+                return False
+    return has_public
+
+
+def _print_exempt(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return os.path.basename(path) == "cli.py" or "viz" in parts
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one module's source text; returns findings (empty = clean)."""
+    tree = ast.parse(source, filename=path)
+    noqa = _noqa_map(source)
+    aliases = _import_aliases(tree)
+    raw: list[tuple[int, str, str]] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert):
+            raw.append(
+                (node.lineno, "REP001", LINT_RULES["REP001"])
+            )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            raw.append((node.lineno, "REP003", LINT_RULES["REP003"]))
+        elif isinstance(node, ast.Call):
+            canonical = _canonical_call(node, aliases)
+            if canonical is None:
+                continue
+            if canonical == "print" and not _print_exempt(path):
+                raw.append(
+                    (
+                        node.lineno,
+                        "REP004",
+                        "print() in library code; return data or use the CLI",
+                    )
+                )
+                continue
+            nargs = len(node.args) + len(node.keywords)
+            msg = _rng_finding(canonical, nargs)
+            if msg is not None:
+                raw.append((node.lineno, "REP002", msg))
+
+    if _missing_all(tree, path):
+        raw.append(
+            (
+                1,
+                "REP005",
+                "module defines public functions/classes but no __all__",
+            )
+        )
+
+    out: list[LintViolation] = []
+    for line, code, message in sorted(raw):
+        if line in noqa:
+            codes = noqa[line]
+            if codes is None or code in codes:
+                continue
+        out.append(LintViolation(path=path, line=line, code=code, message=message))
+    return out
+
+
+def lint_file(path: str) -> list[LintViolation]:
+    """Lint one ``.py`` file from disk."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path)
+
+
+def lint_paths(paths) -> list[LintViolation]:
+    """Lint files and directory trees; test/cache/build dirs are skipped.
+
+    Directories are walked recursively for ``*.py`` files; explicit file
+    arguments are linted even if a skip rule would exclude them.
+    """
+    out: list[LintViolation] = []
+    for target in paths:
+        if os.path.isdir(target):
+            for dirpath, dirnames, filenames in os.walk(target):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.extend(lint_file(os.path.join(dirpath, name)))
+        else:
+            out.extend(lint_file(target))
+    return out

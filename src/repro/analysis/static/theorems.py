@@ -1,0 +1,280 @@
+"""Static verification of Theorems 1 and 2 over extracted schedules.
+
+:func:`verify_prefix_schedule` / :func:`verify_sort_schedule` extract the
+full communication schedule of Algorithm 2 / Algorithm 3 on D_n and run
+every checker over it: edge legality against the actual dual-cube,
+pairing/deadlock freedom, the 1-port discipline, and the theorem step
+bounds together with the repo's exact cost-model predictions.
+:func:`verify_theorems` sweeps both over a range of n — the ``repro
+check-schedule`` CLI command and the ``make check`` gate.
+
+:func:`core_schedule_cases` enumerates extraction cases for *every*
+engine algorithm in :mod:`repro.core` (including the ``run_faulty``
+degraded/reroute recovery collectives); the test suite extracts and
+checks each one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.complexity import (
+    dual_prefix_comm_exact,
+    dual_prefix_comp_exact,
+    dual_sort_comm_exact,
+    dual_sort_comp_exact,
+    theorem1_comm_bound,
+    theorem1_comp_bound,
+    theorem2_comm_bound,
+    theorem2_comp_bound,
+)
+from repro.analysis.static.checkers import run_schedule_checks
+from repro.analysis.static.extract import extract_schedule
+from repro.analysis.static.schedule import CommSchedule, Violation
+from repro.core.bitonic import bitonic_schedule
+from repro.core.dual_prefix import dual_prefix_program
+from repro.core.dual_sort import dual_sort_schedule, schedule_program
+from repro.core.emulation import exchange_algorithm_program
+from repro.core.ops import ADD
+from repro.core.ring_sort import ring_sort_program
+from repro.core.run_faulty import build_faulty_program
+from repro.topology.dualcube import DualCube
+from repro.topology.faults import FaultSet
+from repro.topology.hypercube import Hypercube
+from repro.topology.recursive import RecursiveDualCube
+
+__all__ = [
+    "ScheduleReport",
+    "verify_prefix_schedule",
+    "verify_sort_schedule",
+    "verify_theorems",
+    "core_schedule_cases",
+]
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Outcome of statically verifying one algorithm instance.
+
+    ``ok`` is True iff every checker came back clean; ``violations``
+    carries the findings otherwise.
+    """
+
+    algo: str
+    n: int
+    num_nodes: int
+    comm_steps: int
+    comm_bound: int
+    comp_steps: int
+    comp_bound: int
+    schedule: CommSchedule
+    violations: tuple[Violation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def verify_prefix_schedule(
+    n: int, *, paper_literal: bool = False
+) -> ScheduleReport:
+    """Statically verify Theorem 1's claims for D_prefix on D_n.
+
+    Extracts the schedule of :func:`~repro.core.dual_prefix.dual_prefix_program`
+    and checks: every message rides a D_n edge, the schedule completes
+    with no deadlock, the 1-port discipline holds, communication steps
+    are <= 2n+1 (and exactly match the cost model: 2n, or 2n+1 with
+    ``paper_literal``), computation steps <= 2n.
+    """
+    dc = DualCube(n)
+    values = list(range(dc.num_nodes))
+    program = dual_prefix_program(
+        dc, values, ADD, paper_literal=paper_literal
+    )
+    schedule = extract_schedule(dc, program)
+    violations = run_schedule_checks(
+        schedule,
+        dc,
+        comm_bound=theorem1_comm_bound(n),
+        comp_bound=theorem1_comp_bound(n),
+        comm_exact=dual_prefix_comm_exact(n, paper_literal=paper_literal),
+        comp_exact=dual_prefix_comp_exact(n),
+    )
+    return ScheduleReport(
+        algo="dual_prefix" + (" (paper-literal)" if paper_literal else ""),
+        n=n,
+        num_nodes=dc.num_nodes,
+        comm_steps=schedule.comm_steps,
+        comm_bound=theorem1_comm_bound(n),
+        comp_steps=schedule.comp_steps,
+        comp_bound=theorem1_comp_bound(n),
+        schedule=schedule,
+        violations=tuple(violations),
+    )
+
+
+def verify_sort_schedule(
+    n: int, *, payload_policy: str = "packed"
+) -> ScheduleReport:
+    """Statically verify Theorem 2's claims for D_sort on D_n.
+
+    Extracts the schedule of the unrolled compare-exchange program and
+    checks: edge legality on the recursive dual-cube, completion with no
+    deadlock, 1-port discipline, communication steps <= 6n²-3n-2 (the
+    paper's bound; the packed relay model predicts exactly 6n²-7n+2),
+    comparison steps <= 2n²-n.
+    """
+    rdc = RecursiveDualCube(n)
+    keys = list(range(rdc.num_nodes))[::-1]
+    program = schedule_program(
+        rdc, keys, dual_sort_schedule(n), payload_policy=payload_policy
+    )
+    schedule = extract_schedule(rdc, program)
+    comm_bound = max(
+        theorem2_comm_bound(n),
+        dual_sort_comm_exact(n, payload_policy=payload_policy),
+    )
+    violations = run_schedule_checks(
+        schedule,
+        rdc,
+        comm_bound=comm_bound,
+        comp_bound=theorem2_comp_bound(n),
+        comm_exact=dual_sort_comm_exact(n, payload_policy=payload_policy),
+        comp_exact=dual_sort_comp_exact(n),
+    )
+    return ScheduleReport(
+        algo="dual_sort"
+        + ("" if payload_policy == "packed" else f" ({payload_policy})"),
+        n=n,
+        num_nodes=rdc.num_nodes,
+        comm_steps=schedule.comm_steps,
+        comm_bound=comm_bound,
+        comp_steps=schedule.comp_steps,
+        comp_bound=theorem2_comp_bound(n),
+        schedule=schedule,
+        violations=tuple(violations),
+    )
+
+
+def verify_theorems(
+    min_n: int = 2,
+    max_n: int = 5,
+    *,
+    algos: tuple[str, ...] = ("prefix", "sort"),
+    paper_literal: bool = False,
+    payload_policy: str = "packed",
+) -> list[ScheduleReport]:
+    """Verify Theorems 1 and 2 statically for every n in ``min_n..max_n``."""
+    if min_n < 1 or max_n < min_n:
+        raise ValueError(
+            f"need 1 <= min_n <= max_n, got min_n={min_n}, max_n={max_n}"
+        )
+    for algo in algos:
+        if algo not in ("prefix", "sort"):
+            raise ValueError(
+                f"algos must name 'prefix'/'sort', got {algo!r}"
+            )
+    reports: list[ScheduleReport] = []
+    for n in range(min_n, max_n + 1):
+        if "prefix" in algos:
+            reports.append(
+                verify_prefix_schedule(n, paper_literal=paper_literal)
+            )
+        if "sort" in algos:
+            reports.append(
+                verify_sort_schedule(n, payload_policy=payload_policy)
+            )
+    return reports
+
+
+def _prefix_exchange_rounds(q: int):
+    """Algorithm 1's ascend rounds as scalar exchange rounds on (t, s)."""
+
+    def make_update(i: int):
+        def update(state, got, rank):
+            t, s = state
+            if (rank >> i) & 1:
+                return (got + t, got + s)
+            return (t + got, s)
+
+        return update
+
+    return [(i, lambda st: st[0], make_update(i)) for i in range(q)]
+
+
+def core_schedule_cases(n: int = 2) -> list[tuple[str, object, object]]:
+    """Extraction cases ``(name, topo, program)`` covering repro.core.
+
+    One entry per engine algorithm family: the two headline algorithms
+    (both variants each), the hypercube bitonic baseline, generic
+    hypercube emulation on both topologies, the ring sort, and the
+    ``run_faulty`` degraded and reroute recovery collectives under a
+    single node fault.  Every returned program must extract to a
+    completed schedule that passes edge-legality, pairing, and
+    congestion checks — the test suite asserts exactly that.
+    """
+    dc = DualCube(n)
+    rdc = RecursiveDualCube(n)
+    cube = Hypercube(2 * n - 1)
+    vals = list(range(dc.num_nodes))
+    keys = vals[::-1]
+    cases: list[tuple[str, object, object]] = [
+        (
+            "dual_prefix",
+            dc,
+            dual_prefix_program(dc, vals, ADD),
+        ),
+        (
+            "dual_prefix paper-literal",
+            dc,
+            dual_prefix_program(dc, vals, ADD, paper_literal=True),
+        ),
+        (
+            "dual_sort packed",
+            rdc,
+            schedule_program(rdc, keys, dual_sort_schedule(n)),
+        ),
+        (
+            "dual_sort single",
+            rdc,
+            schedule_program(
+                rdc, keys, dual_sort_schedule(n), payload_policy="single"
+            ),
+        ),
+        (
+            "hypercube_bitonic",
+            cube,
+            schedule_program(cube, keys, bitonic_schedule(2 * n - 1)),
+        ),
+        (
+            "emulated_cube_prefix",
+            rdc,
+            exchange_algorithm_program(
+                rdc,
+                [(v, v) for v in vals],
+                _prefix_exchange_rounds(2 * n - 1),
+            ),
+        ),
+        (
+            "cube_prefix (exchange form)",
+            cube,
+            exchange_algorithm_program(
+                cube,
+                [(v, v) for v in vals],
+                _prefix_exchange_rounds(2 * n - 1),
+            ),
+        ),
+        (
+            "ring_sort",
+            rdc,
+            ring_sort_program(rdc, keys),
+        ),
+    ]
+    if dc.num_nodes > 2:
+        faults = FaultSet(nodes=frozenset({dc.num_nodes - 1}))
+        for mode in ("degraded", "reroute"):
+            program, ftopo, _members = build_faulty_program(
+                "prefix", dc, vals, faults=faults, mode=mode
+            )
+            cases.append((f"run_faulty {mode} (1 node down)", ftopo, program))
+    return cases

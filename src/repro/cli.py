@@ -257,6 +257,65 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.static import lint_paths
+
+    paths = args.paths or ["src"]
+    violations = lint_paths(paths)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"{len(violations)} lint finding(s)")
+        return 1
+    print(f"lint clean: {', '.join(paths)}")
+    return 0
+
+
+def _cmd_check_schedule(args) -> int:
+    from repro.analysis.static import verify_theorems
+
+    algos = ("prefix", "sort") if args.algo == "both" else (args.algo,)
+    reports = verify_theorems(
+        args.min_n,
+        args.max_n,
+        algos=algos,
+        paper_literal=args.paper_literal,
+        payload_policy=args.payload_policy,
+    )
+    rows = [
+        (
+            r.algo,
+            r.n,
+            r.num_nodes,
+            r.comm_steps,
+            r.comm_bound,
+            r.comp_steps,
+            r.comp_bound,
+            "ok" if r.ok else "FAIL",
+        )
+        for r in reports
+    ]
+    print(
+        format_table(
+            ["algorithm", "n", "nodes", "comm", "bound", "comp", "bound", "verdict"],
+            rows,
+            title="Static schedule verification (Theorems 1 and 2)",
+        )
+    )
+    failed = [r for r in reports if not r.ok]
+    for r in failed:
+        print(f"\n{r.algo} n={r.n}:")
+        for v in r.violations:
+            print(f"  {v}")
+    if failed:
+        return 1
+    print(
+        "\nall schedules edge-legal, deadlock-free, 1-port clean, "
+        "within theorem bounds"
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -349,6 +408,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed wallclock slowdown factor for --compare",
     )
     sp.set_defaults(fn=_cmd_bench)
+
+    sp = sub.add_parser("lint", help="repo lint (REP001-REP005, stdlib ast)")
+    sp.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src)",
+    )
+    sp.set_defaults(fn=_cmd_lint)
+
+    sp = sub.add_parser(
+        "check-schedule",
+        help="statically verify Theorem 1/2 schedules (edges, deadlock, bounds)",
+    )
+    sp.add_argument("--min-n", type=int, default=2)
+    sp.add_argument("--max-n", type=int, default=5)
+    sp.add_argument(
+        "--algo", choices=["prefix", "sort", "both"], default="both"
+    )
+    sp.add_argument(
+        "--paper-literal", action="store_true",
+        help="verify the paper-literal D_prefix variant (2n+1 steps)",
+    )
+    sp.add_argument(
+        "--payload-policy", choices=["packed", "single"], default="packed",
+        help="relay payload policy for the D_sort schedule",
+    )
+    sp.set_defaults(fn=_cmd_check_schedule)
 
     sp = sub.add_parser("report", help="list regenerated experiment artifacts")
     sp.add_argument("--dir", default="benchmarks/out")

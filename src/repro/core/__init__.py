@@ -36,6 +36,7 @@ from repro.core.cube_prefix import (
 )
 from repro.core.dual_prefix import (
     dual_prefix,
+    dual_prefix_program,
     dual_prefix_vec,
     dual_prefix_engine,
     dual_suffix_vec,
@@ -52,17 +53,24 @@ from repro.core.dual_sort import (
     dual_sort_vec,
     dual_sort_engine,
     dual_sort_schedule,
+    schedule_program,
     ScheduleStep,
 )
 from repro.core.large_inputs import large_prefix, large_prefix_engine, large_sort
 from repro.core.emulation import (
     emulated_cube_prefix,
     emulated_cube_prefix_vec,
+    exchange_algorithm_program,
     run_exchange_algorithm_engine,
     run_exchange_algorithm_vec,
     emulation_comm_steps,
 )
-from repro.core.ring_sort import ring_sort_engine, ring_sort_vec, ring_sort_steps
+from repro.core.ring_sort import (
+    ring_sort_engine,
+    ring_sort_program,
+    ring_sort_vec,
+    ring_sort_steps,
+)
 from repro.core.sorting_networks import (
     bitonic_sort_network,
     odd_even_merge_sort_network,
@@ -73,7 +81,7 @@ from repro.core.sorting_networks import (
     verify_zero_one,
     is_dimension_exchange_network,
 )
-from repro.core.run_faulty import FaultyRunResult, run_faulty
+from repro.core.run_faulty import FaultyRunResult, build_faulty_program, run_faulty
 from repro.core.verify import (
     check_prefix,
     check_sorted,
@@ -98,6 +106,7 @@ __all__ = [
     "cube_prefix_vec",
     "cube_prefix_program",
     "dual_prefix",
+    "dual_prefix_program",
     "dual_prefix_vec",
     "dual_prefix_engine",
     "dual_suffix_vec",
@@ -110,16 +119,19 @@ __all__ = [
     "dual_sort_vec",
     "dual_sort_engine",
     "dual_sort_schedule",
+    "schedule_program",
     "ScheduleStep",
     "large_prefix",
     "large_prefix_engine",
     "large_sort",
     "emulated_cube_prefix",
     "emulated_cube_prefix_vec",
+    "exchange_algorithm_program",
     "run_exchange_algorithm_engine",
     "run_exchange_algorithm_vec",
     "emulation_comm_steps",
     "ring_sort_engine",
+    "ring_sort_program",
     "ring_sort_vec",
     "ring_sort_steps",
     "bitonic_sort_network",
@@ -131,6 +143,7 @@ __all__ = [
     "verify_zero_one",
     "is_dimension_exchange_network",
     "FaultyRunResult",
+    "build_faulty_program",
     "run_faulty",
     "check_prefix",
     "check_sorted",

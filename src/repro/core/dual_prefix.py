@@ -38,7 +38,13 @@ from repro.core.ops import AssocOp, combine_arrays
 from repro.simulator import CostCounters, SendRecv, TraceRecorder, run_spmd
 from repro.topology.dualcube import DualCube
 
-__all__ = ["dual_prefix_engine", "dual_prefix_vec", "dual_prefix", "dual_suffix_vec"]
+__all__ = [
+    "dual_prefix_program",
+    "dual_prefix_engine",
+    "dual_prefix_vec",
+    "dual_prefix",
+    "dual_suffix_vec",
+]
 
 
 def _dual_prefix_node_program(
@@ -100,6 +106,33 @@ def _dual_prefix_node_program(
     return s
 
 
+def dual_prefix_program(
+    dc: DualCube,
+    values,
+    op: AssocOp,
+    *,
+    inclusive: bool = True,
+    paper_literal: bool = False,
+):
+    """The SPMD program realizing Algorithm 2 on ``dc``.
+
+    ``values`` is the input sequence in global index order.  Each rank
+    returns its arranged-order prefix ``s``.  This is the exact program
+    :func:`dual_prefix_engine` runs; it is exposed so the static schedule
+    analyzer (:mod:`repro.analysis.static`) can extract its communication
+    schedule without an engine run.
+    """
+    held = arrange(dc, np.asarray(values, dtype=object))
+
+    def program(ctx):
+        s = yield from _dual_prefix_node_program(
+            ctx, dc, held[ctx.rank], op, paper_literal, inclusive
+        )
+        return s
+
+    return program
+
+
 def dual_prefix_engine(
     dc: DualCube,
     values,
@@ -123,14 +156,9 @@ def dual_prefix_engine(
     (``prefixes[k] = c[0] ⊕ … ⊕ c[k]``) and ``result`` the engine result
     carrying the cost counters.
     """
-    held = arrange(dc, np.asarray(values, dtype=object))
-
-    def program(ctx):
-        s = yield from _dual_prefix_node_program(
-            ctx, dc, held[ctx.rank], op, paper_literal, inclusive
-        )
-        return s
-
+    program = dual_prefix_program(
+        dc, values, op, inclusive=inclusive, paper_literal=paper_literal
+    )
     result = run_spmd(dc, program, trace=trace)
     held_out = np.empty(dc.num_nodes, dtype=object)
     held_out[:] = result.returns

@@ -52,6 +52,7 @@ from repro.topology.recursive import RecursiveDualCube
 __all__ = [
     "ScheduleStep",
     "dual_sort_schedule",
+    "schedule_program",
     "execute_schedule_engine",
     "execute_schedule_vec",
     "dual_sort_engine",
@@ -187,17 +188,19 @@ def _compare_exchange_program(
     return min(key, got) if keep_min else max(key, got)
 
 
-def execute_schedule_engine(
+def schedule_program(
     topo: DimensionedTopology,
     keys,
     schedule: Sequence[ScheduleStep],
     *,
     payload_policy: str = "packed",
-    trace: TraceRecorder | None = None,
 ):
-    """Run a compare-exchange schedule on the cycle-accurate engine.
+    """The SPMD program realizing a compare-exchange ``schedule`` on ``topo``.
 
-    Returns ``(sorted_keys, EngineResult)`` with keys in node-address order.
+    This is the exact program :func:`execute_schedule_engine` runs (so it
+    covers `D_sort` and the hypercube bitonic baseline alike); it is
+    exposed so the static schedule analyzer (:mod:`repro.analysis.static`)
+    can extract its communication schedule without an engine run.
     """
     _check_policy(payload_policy)
     vals = list(keys)
@@ -220,6 +223,24 @@ def execute_schedule_engine(
             ctx.record(f"step {k:03d} dim {step.dim} [{step.phase}]", key)
         return key
 
+    return program
+
+
+def execute_schedule_engine(
+    topo: DimensionedTopology,
+    keys,
+    schedule: Sequence[ScheduleStep],
+    *,
+    payload_policy: str = "packed",
+    trace: TraceRecorder | None = None,
+):
+    """Run a compare-exchange schedule on the cycle-accurate engine.
+
+    Returns ``(sorted_keys, EngineResult)`` with keys in node-address order.
+    """
+    program = schedule_program(
+        topo, keys, schedule, payload_policy=payload_policy
+    )
     result = run_spmd(topo, program, trace=trace)
     return list(result.returns), result
 

@@ -47,6 +47,7 @@ from repro.topology.recursive import RecursiveDualCube
 __all__ = [
     "ExchangeRound",
     "exchange_value_program",
+    "exchange_algorithm_program",
     "run_exchange_algorithm_engine",
     "run_exchange_algorithm_vec",
     "emulated_cube_prefix",
@@ -93,19 +94,17 @@ def exchange_value_program(
     return got
 
 
-def run_exchange_algorithm_engine(
+def exchange_algorithm_program(
     topo: DimensionedTopology,
     initial: Sequence[Any],
     rounds: Sequence[ExchangeRound],
-    *,
-    trace: TraceRecorder | None = None,
 ):
-    """Run a dimension-exchange algorithm on the cycle-accurate engine.
+    """The SPMD program realizing a dimension-exchange algorithm on ``topo``.
 
-    ``initial[u]`` is node ``u``'s starting state; each round
-    ``(dim, outgoing, update)`` exchanges ``outgoing(state)`` along
-    ``dim`` and sets ``state = update(state, received, rank)``.
-    Returns ``(final_states, EngineResult)``.
+    This is the exact program :func:`run_exchange_algorithm_engine` runs;
+    it is exposed so the static schedule analyzer
+    (:mod:`repro.analysis.static`) can extract its communication schedule
+    without an engine run.
     """
     states = list(initial)
     if len(states) != topo.num_nodes:
@@ -124,6 +123,24 @@ def run_exchange_algorithm_engine(
             ctx.record(f"round dim {dim}", state)
         return state
 
+    return program
+
+
+def run_exchange_algorithm_engine(
+    topo: DimensionedTopology,
+    initial: Sequence[Any],
+    rounds: Sequence[ExchangeRound],
+    *,
+    trace: TraceRecorder | None = None,
+):
+    """Run a dimension-exchange algorithm on the cycle-accurate engine.
+
+    ``initial[u]`` is node ``u``'s starting state; each round
+    ``(dim, outgoing, update)`` exchanges ``outgoing(state)`` along
+    ``dim`` and sets ``state = update(state, received, rank)``.
+    Returns ``(final_states, EngineResult)``.
+    """
+    program = exchange_algorithm_program(topo, initial, rounds)
     result = run_spmd(topo, program, trace=trace)
     return list(result.returns), result
 

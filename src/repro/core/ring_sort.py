@@ -23,7 +23,12 @@ from repro.simulator import CostCounters, Idle, SendRecv, run_spmd
 from repro.topology.hamiltonian import hamiltonian_cycle
 from repro.topology.recursive import RecursiveDualCube
 
-__all__ = ["ring_sort_engine", "ring_sort_vec", "ring_sort_steps"]
+__all__ = [
+    "ring_sort_program",
+    "ring_sort_engine",
+    "ring_sort_vec",
+    "ring_sort_steps",
+]
 
 
 def ring_sort_steps(num_nodes: int) -> int:
@@ -65,13 +70,15 @@ def ring_sort_vec(
     return line
 
 
-def ring_sort_engine(
+def ring_sort_program(
     rdc: RecursiveDualCube,
     keys,
 ):
-    """Cycle-accurate odd-even transposition on the embedded ring.
+    """The SPMD program realizing odd-even transposition on the ring.
 
-    Returns ``(sorted_in_ring_order, EngineResult)``.
+    This is the exact program :func:`ring_sort_engine` runs; it is exposed
+    so the static schedule analyzer (:mod:`repro.analysis.static`) can
+    extract its communication schedule without an engine run.
     """
     vals = list(keys)
     v = rdc.num_nodes
@@ -99,5 +106,19 @@ def ring_sort_engine(
                 yield Idle()
         return key
 
+    return program
+
+
+def ring_sort_engine(
+    rdc: RecursiveDualCube,
+    keys,
+):
+    """Cycle-accurate odd-even transposition on the embedded ring.
+
+    Returns ``(sorted_in_ring_order, EngineResult)``.
+    """
+    program = ring_sort_program(rdc, keys)
+    cycle = hamiltonian_cycle(rdc.n)
+    v = rdc.num_nodes
     result = run_spmd(rdc, program)
     return [result.returns[cycle[k]] for k in range(v)], result

@@ -48,7 +48,7 @@ from repro.simulator.requests import Recv, Send
 from repro.topology.dualcube import DualCube
 from repro.topology.faults import FaultSet, FaultyTopology
 
-__all__ = ["FaultyRunResult", "run_faulty"]
+__all__ = ["FaultyRunResult", "build_faulty_program", "run_faulty"]
 
 _KINDS = ("prefix", "sort")
 _MODES = ("degraded", "reroute", "retry")
@@ -219,6 +219,81 @@ def _sort_finish(descending: bool):
     return finish
 
 
+def build_faulty_program(
+    kind: str,
+    topo,
+    data,
+    *,
+    op: AssocOp = ADD,
+    faults: FaultSet | None = None,
+    mode: str = "degraded",
+    descending: bool = False,
+):
+    """Construct the recovery collective :func:`run_faulty` would execute.
+
+    Returns ``(program, ftopo, members)``: the SPMD program, the
+    :class:`FaultyTopology` it must run on, and the sorted participating
+    ranks.  Only the ``degraded`` and ``reroute`` modes build a dedicated
+    program (``retry`` runs the unmodified lockstep algorithms, whose
+    programs come from :func:`~repro.core.dual_prefix.dual_prefix_program`
+    and :func:`~repro.core.dual_sort.schedule_program`).  Exposed so the
+    static schedule analyzer (:mod:`repro.analysis.static`) can verify
+    reroute/degraded schedules — edge legality over the healthy subgraph,
+    deadlock freedom — without running them.
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+    if mode not in ("degraded", "reroute"):
+        raise ValueError(
+            f"mode must be 'degraded' or 'reroute', got {mode!r}"
+        )
+    n = topo.num_nodes
+    data = list(data)
+    if len(data) != n:
+        raise ValueError(f"expected {n} data items for {topo.name}, got {len(data)}")
+    faults = faults if faults is not None else FaultSet()
+    ftopo = FaultyTopology(topo, faults)
+    healthy = ftopo.healthy_nodes()
+    root = min(healthy)
+
+    if mode == "degraded":
+        parent, children, subtree = _bfs_tree(ftopo, root)
+        members = sorted(parent)
+    else:  # reroute
+        is_dc = isinstance(topo, DualCube)
+        routes: dict[int, list[int]] = {root: [root]}
+        for w in healthy:
+            if w == root:
+                continue
+            walk = (
+                adaptive_route(ftopo, topo, root, w)
+                if is_dc
+                else ft_route(ftopo, root, w)
+            )
+            if walk is not None:
+                routes[w] = walk
+        members = sorted(routes)
+
+    contrib = {}
+    if kind == "prefix":
+        arr = arranged_index_v(topo)
+        for r in members:
+            contrib[r] = data[int(arr[r])]
+        finish = _prefix_finish(topo, data, op)
+    else:
+        for r in members:
+            contrib[r] = data[r]
+        finish = _sort_finish(descending)
+
+    if mode == "degraded":
+        program = _tree_collective(
+            ftopo, parent, children, subtree, contrib, finish
+        )
+    else:
+        program = _route_collective(ftopo, root, routes, contrib, finish)
+    return program, ftopo, members
+
+
 def run_faulty(
     kind: str,
     topo,
@@ -287,51 +362,16 @@ def run_faulty(
             f"mode={mode!r} models permanent faults via faults=; transient "
             f"plans belong to mode='retry'"
         )
-    faults = faults if faults is not None else FaultSet()
-    ftopo = FaultyTopology(topo, faults)
-    healthy = ftopo.healthy_nodes()
-    root = min(healthy)
-
-    if mode == "degraded":
-        parent, children, subtree = _bfs_tree(ftopo, root)
-        members = sorted(parent)
-    else:  # reroute
-        is_dc = isinstance(topo, DualCube)
-        routes: dict[int, list[int]] = {root: [root]}
-        for w in healthy:
-            if w == root:
-                continue
-            walk = (
-                adaptive_route(ftopo, topo, root, w)
-                if is_dc
-                else ft_route(ftopo, root, w)
-            )
-            if walk is not None:
-                routes[w] = walk
-        members = sorted(routes)
-
-    contrib = {}
-    if kind == "prefix":
-        arr = arranged_index_v(topo)
-        for r in members:
-            contrib[r] = data[int(arr[r])]
-        finish = _prefix_finish(topo, data, op)
-    else:
-        for r in members:
-            contrib[r] = data[r]
-        finish = _sort_finish(descending)
-
-    if mode == "degraded":
-        program = _tree_collective(
-            ftopo, parent, children, subtree, contrib, finish
-        )
-    else:
-        program = _route_collective(ftopo, root, routes, contrib, finish)
+    program, ftopo, members = build_faulty_program(
+        kind, topo, data, op=op, faults=faults, mode=mode,
+        descending=descending,
+    )
 
     result = run_spmd(ftopo, program)
 
     values: list = [None] * n
     if kind == "prefix":
+        arr = arranged_index_v(topo)
         for r in members:
             values[int(arr[r])] = result.returns[r]
     else:

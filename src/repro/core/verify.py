@@ -56,5 +56,24 @@ def check_sorted(seq: Sequence, *, descending: bool = False) -> None:
 
 
 def is_permutation_of(a: Sequence, b: Sequence) -> bool:
-    """Whether ``a`` is a rearrangement of ``b`` (multiset equality)."""
-    return sorted(a) == sorted(b)
+    """Whether ``a`` is a rearrangement of ``b`` (multiset equality).
+
+    Works for unhashable and even mutually incomparable elements: the
+    fast path sorts both sides, and when the elements cannot be ordered
+    (mixed types) it falls back to quadratic multiset matching.
+    """
+    items_a, items_b = list(a), list(b)
+    if len(items_a) != len(items_b):
+        return False
+    try:
+        return sorted(items_a) == sorted(items_b)
+    except TypeError:
+        remaining = list(items_b)
+        for x in items_a:
+            for k, y in enumerate(remaining):
+                if x == y:
+                    del remaining[k]
+                    break
+            else:
+                return False
+        return True

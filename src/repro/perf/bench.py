@@ -92,7 +92,8 @@ def _time_best(fn: Callable[[], CostCounters], repeats: int) -> tuple[float, Cos
         dt = time.perf_counter() - t0
         if dt < best:
             best = dt
-    assert counters is not None
+    if counters is None:
+        raise ValueError("benchmark produced no run; repeats must be >= 1")
     return best, counters
 
 

@@ -298,7 +298,10 @@ class Engine:
         def advance(rank: int, value: Any) -> None:
             nonlocal npending
             gen = gens[rank]
-            assert gen is not None
+            if gen is None:
+                raise ProgramError(
+                    f"internal error: rank {rank} resumed after completion"
+                )
             try:
                 req = gen.send(value)
             except StopIteration as stop:
@@ -636,7 +639,10 @@ class Engine:
 
         def advance(rank: int, value: Any) -> None:
             gen = gens[rank]
-            assert gen is not None
+            if gen is None:
+                raise ProgramError(
+                    f"internal error: rank {rank} resumed after completion"
+                )
             try:
                 req = gen.send(value)
             except StopIteration as stop:

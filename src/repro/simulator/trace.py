@@ -20,9 +20,19 @@ class TraceRecorder:
     A *snapshot* with label L is complete once every rank has recorded a
     value under L the same number of times; ranks may record under the same
     label repeatedly (one value per round), producing a series.
+
+    Parameters
+    ----------
+    num_nodes:
+        Expected rank count, when known.  With it set,
+        :meth:`record_array` rejects ragged/short snapshots instead of
+        silently recording an incomplete one.
     """
 
-    def __init__(self):
+    def __init__(self, num_nodes: int | None = None):
+        if num_nodes is not None and num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
         self._per_rank: dict[str, dict[int, list[Any]]] = {}
         self._label_order: list[str] = []
 
@@ -34,8 +44,20 @@ class TraceRecorder:
         self._per_rank[label].setdefault(rank, []).append(value)
 
     def record_array(self, label: str, values: Iterable[Any]) -> None:
-        """Record one full snapshot at once (rank k gets ``values[k]``)."""
-        for rank, value in enumerate(values):
+        """Record one full snapshot at once (rank k gets ``values[k]``).
+
+        When the recorder knows its rank count, a snapshot of any other
+        length raises ``ValueError`` (nothing is recorded); previously a
+        short or ragged iterable was silently accepted, leaving the label
+        incomplete and every later :meth:`snapshot` call failing.
+        """
+        vals = list(values)
+        if self.num_nodes is not None and len(vals) != self.num_nodes:
+            raise ValueError(
+                f"snapshot {label!r} has {len(vals)} values; recorder "
+                f"expects exactly {self.num_nodes} ranks"
+            )
+        for rank, value in enumerate(vals):
             self.record(label, rank, value)
 
     def labels(self) -> tuple[str, ...]:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator
 
+__all__ = ["Topology", "DimensionedTopology"]
+
 
 class Topology(ABC):
     """Finite undirected graph with integer nodes ``0..num_nodes-1``."""

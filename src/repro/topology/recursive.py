@@ -123,7 +123,11 @@ class RecursiveDualCube(DimensionedTopology):
             return (u, target)
         v = flip_bit(u, 0)
         w = flip_bit(v, d)
-        assert flip_bit(w, 0) == target
+        if flip_bit(w, 0) != target:
+            raise ValueError(
+                f"emulation path invariant violated for node {u}, "
+                f"dimension {d}: relay {w} does not cross back to {target}"
+            )
         return (u, v, w, target)
 
     def exchange_hops(self, u: int, d: int) -> int:

@@ -1,0 +1,353 @@
+"""Checker suite over broken fixture programs and hand-built schedules.
+
+Each checker must demonstrably *reject* its target defect: an illegal
+edge, an orphan receive, a deadlock cycle, an oversubscribed port, and a
+bound overshoot.
+"""
+
+import pytest
+
+from repro.analysis.static import (
+    BlockedOp,
+    CommEvent,
+    CommSchedule,
+    check_bounds,
+    check_congestion,
+    check_edge_legality,
+    check_pairing,
+    extract_schedule,
+    run_schedule_checks,
+)
+from repro.simulator import Recv, Send, SendRecv
+from repro.topology import DualCube, Hypercube
+
+
+def codes(violations):
+    return {v.code for v in violations}
+
+
+@pytest.fixture
+def dc():
+    return DualCube(2)
+
+
+class TestEdgeLegality:
+    def test_illegal_edge_fixture_rejected(self, dc):
+        # Node 0's dual-cube neighbors are {1, 2, 4}; 0 <-> 3 is not an
+        # edge, but both sides pair up, so extraction happily completes
+        # and only the edge checker can catch it.
+        def program(ctx):
+            if ctx.rank == 0:
+                yield SendRecv(3, "x")
+            elif ctx.rank == 3:
+                yield SendRecv(0, "y")
+
+        sched = extract_schedule(dc, program)
+        assert sched.completed
+        found = check_edge_legality(sched, dc)
+        assert codes(found) == {"illegal-edge"}
+        assert any("no edge 0 <-> 3" in v.message for v in found)
+
+    def test_self_address_rejected(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(CommEvent(step=1, src=1, dst=1),),
+            steps=1,
+        )
+        found = check_edge_legality(sched, Hypercube(1))
+        assert any("addresses itself" in v.message for v in found)
+
+    def test_out_of_range_endpoint_rejected(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(CommEvent(step=1, src=0, dst=9),),
+            steps=1,
+        )
+        found = check_edge_legality(sched, Hypercube(1))
+        assert any("outside" in v.message for v in found)
+
+    def test_topology_size_mismatch(self, dc):
+        sched = CommSchedule(
+            num_nodes=4, topology="fixture", events=(), steps=0
+        )
+        found = check_edge_legality(sched, dc)
+        assert codes(found) == {"illegal-edge"}
+
+    def test_blocked_ops_also_checked(self, dc):
+        # An orphan Send over a non-edge: never delivered, so only the
+        # blocked-op leg can reveal the illegal endpoint.
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(3, "x")
+
+        sched = extract_schedule(dc, program)
+        assert not sched.completed
+        found = check_edge_legality(sched, dc)
+        assert any("blocked" in v.message for v in found)
+
+    def test_legal_schedule_clean(self, dc):
+        # Cross edges form a perfect matching: every node has exactly one
+        # neighbor in the other class, so this exchange is always legal.
+        half = dc.num_nodes // 2
+
+        def program(ctx):
+            partner = next(
+                v
+                for v in ctx.neighbors()
+                if (v >= half) != (ctx.rank >= half)
+            )
+            yield SendRecv(partner, ctx.rank)
+
+        sched = extract_schedule(dc, program)
+        assert check_edge_legality(sched, dc) == []
+
+
+class TestPairing:
+    def test_completed_schedule_clean(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(CommEvent(step=1, src=0, dst=1),),
+            steps=1,
+        )
+        assert check_pairing(sched) == []
+
+    def test_orphan_recv_fixture_rejected(self, dc):
+        def program(ctx):
+            if ctx.rank == 5:
+                yield Recv(6)
+
+        sched = extract_schedule(dc, program)
+        found = check_pairing(sched)
+        assert "stall" in codes(found)
+        orphans = [v for v in found if v.code == "orphan"]
+        assert len(orphans) == 1
+        assert orphans[0].rank == 5
+        assert "has terminated" in orphans[0].message
+
+    def test_orphan_nonexistent_rank(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(),
+            steps=0,
+            completed=False,
+            stalled_at=1,
+            blocked=(BlockedOp(rank=0, kind="recv", recv_from=7),),
+        )
+        found = check_pairing(sched)
+        assert any(
+            v.code == "orphan" and "does not exist" in v.message
+            for v in found
+        )
+
+    def test_deadlock_cycle_fixture_rejected(self, dc):
+        # Recv cycle 0 -> 1 -> 2 -> 0 among live ranks: a true static
+        # deadlock, every participant still present.
+        def program(ctx):
+            if ctx.rank < 3:
+                yield Recv((ctx.rank + 1) % 3)
+
+        sched = extract_schedule(dc, program)
+        found = check_pairing(sched)
+        dead = [v for v in found if v.code == "deadlock"]
+        assert len(dead) == 1
+        ranks = [int(r) for r in dead[0].message.split(":")[1].split("->")]
+        assert ranks[0] == ranks[-1]
+        assert set(ranks) <= {0, 1, 2}
+
+    def test_mismatch_send_facing_send(self, dc):
+        # Both ends post Send to each other: neither posts the Recv leg.
+        def program(ctx):
+            if ctx.rank == 0:
+                yield Send(1, "a")
+            elif ctx.rank == 1:
+                yield Send(0, "b")
+
+        sched = extract_schedule(dc, program)
+        found = check_pairing(sched)
+        # 0 and 1 wait on each other without reciprocating legs: the
+        # wait-for cycle is also a deadlock.
+        assert "deadlock" in codes(found)
+
+    def test_mismatch_sendrecv_facing_recv(self, dc):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield SendRecv(1, "a")
+            elif ctx.rank == 1:
+                yield Recv(0)
+
+        sched = extract_schedule(dc, program)
+        found = check_pairing(sched)
+        assert "mismatch" in codes(found)
+
+    def test_livelock_reported_when_truncated(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(),
+            steps=50,
+            completed=False,
+            truncated=True,
+            blocked=(BlockedOp(rank=0, kind="sendrecv", send_to=1, recv_from=1),),
+        )
+        assert "livelock" in codes(check_pairing(sched))
+
+
+class TestCongestion:
+    def test_port_limit_send_violation(self):
+        sched = CommSchedule(
+            num_nodes=4,
+            topology="fixture",
+            events=(
+                CommEvent(step=1, src=0, dst=1),
+                CommEvent(step=1, src=0, dst=2),
+            ),
+            steps=1,
+        )
+        found = check_congestion(sched)
+        assert any(
+            v.code == "port-limit" and "sends 2" in v.message for v in found
+        )
+
+    def test_port_limit_recv_violation(self):
+        sched = CommSchedule(
+            num_nodes=4,
+            topology="fixture",
+            events=(
+                CommEvent(step=1, src=1, dst=0),
+                CommEvent(step=1, src=2, dst=0),
+            ),
+            steps=1,
+        )
+        found = check_congestion(sched)
+        assert any(
+            v.code == "port-limit" and "receives 2" in v.message for v in found
+        )
+
+    def test_directed_link_double_use(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(
+                CommEvent(step=1, src=0, dst=1),
+                CommEvent(step=1, src=0, dst=1),
+            ),
+            steps=1,
+        )
+        found = check_congestion(sched)
+        assert any(v.code == "link-congestion" for v in found)
+
+    def test_same_node_across_steps_is_fine(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(
+                CommEvent(step=1, src=0, dst=1),
+                CommEvent(step=2, src=0, dst=1),
+            ),
+            steps=2,
+        )
+        assert check_congestion(sched) == []
+
+    def test_aggregate_link_budget(self):
+        events = tuple(
+            CommEvent(step=s, src=s % 2, dst=1 - s % 2) for s in range(1, 6)
+        )
+        sched = CommSchedule(
+            num_nodes=2, topology="fixture", events=events, steps=5
+        )
+        assert check_congestion(sched) == []
+        found = check_congestion(sched, max_link_load=4)
+        assert any("budget 4" in v.message for v in found)
+        assert sched.max_link_load() == 5
+
+
+class TestBounds:
+    def _sched(self, steps, comp):
+        return CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(),
+            steps=steps,
+            comp_steps=comp,
+        )
+
+    def test_within_bounds_clean(self):
+        assert (
+            check_bounds(
+                self._sched(4, 4),
+                comm_bound=5,
+                comp_bound=4,
+                comm_exact=4,
+                comp_exact=4,
+            )
+            == []
+        )
+
+    def test_comm_bound_overshoot(self):
+        found = check_bounds(self._sched(6, 0), comm_bound=5)
+        assert codes(found) == {"comm-bound"}
+
+    def test_comp_bound_overshoot(self):
+        found = check_bounds(self._sched(0, 9), comp_bound=8)
+        assert codes(found) == {"comp-bound"}
+
+    def test_exact_mismatch(self):
+        found = check_bounds(self._sched(4, 4), comm_exact=5, comp_exact=3)
+        assert codes(found) == {"comm-exact", "comp-exact"}
+
+    def test_incomplete_schedule_fails_outright(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(),
+            steps=0,
+            completed=False,
+        )
+        found = check_bounds(sched, comm_bound=100)
+        assert codes(found) == {"comm-bound"}
+        assert "vacuous" in found[0].message
+
+
+class TestRunScheduleChecks:
+    def test_clean_program_no_findings(self, dc):
+        half = dc.num_nodes // 2
+
+        def program(ctx):
+            partner = next(
+                v
+                for v in ctx.neighbors()
+                if (v >= half) != (ctx.rank >= half)
+            )
+            yield SendRecv(partner, ctx.rank)
+
+        sched = extract_schedule(dc, program)
+        assert run_schedule_checks(sched, dc, comm_bound=1, comm_exact=1) == []
+
+    def test_broken_program_aggregates_findings(self, dc):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield SendRecv(3, "x")
+            elif ctx.rank == 3:
+                yield SendRecv(0, "y")
+
+        sched = extract_schedule(dc, program)
+        found = run_schedule_checks(sched, dc, comm_exact=2)
+        assert "illegal-edge" in codes(found)
+        assert "comm-exact" in codes(found)
+
+    def test_violation_str_includes_location(self):
+        sched = CommSchedule(
+            num_nodes=2,
+            topology="fixture",
+            events=(CommEvent(step=3, src=1, dst=1),),
+            steps=3,
+        )
+        (v,) = check_edge_legality(sched, Hypercube(1))
+        text = str(v)
+        assert "illegal-edge" in text
+        assert "step 3" in text
+        assert "rank 1" in text

@@ -1,0 +1,158 @@
+"""The REP lint rules: each fires on its target, noqa suppresses, and the
+repo's own src/ tree stays clean."""
+
+import os
+
+import pytest
+
+from repro.analysis.static import LINT_RULES, lint_file, lint_paths, lint_source
+
+pytestmark = pytest.mark.lint
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestRep001Assert:
+    def test_fires(self):
+        found = lint_source("def _f(x):\n    assert x > 0\n", "m.py")
+        assert "REP001" in codes(found)
+
+    def test_line_number(self):
+        found = lint_source("x = 1\nassert x\n", "m.py")
+        (v,) = [v for v in found if v.code == "REP001"]
+        assert v.line == 2
+
+
+class TestRep002Random:
+    def test_module_level_call_fires(self):
+        src = "import random\ndef _f():\n    return random.random()\n"
+        assert "REP002" in codes(lint_source(src, "m.py"))
+
+    def test_numpy_alias_resolved(self):
+        src = "import numpy as np\ndef _f():\n    return np.random.rand(3)\n"
+        found = lint_source(src, "m.py")
+        assert "REP002" in codes(found)
+        assert "numpy.random.rand" in found[0].message
+
+    def test_from_import_resolved(self):
+        src = (
+            "from numpy.random import default_rng\n"
+            "def _f():\n    return default_rng()\n"
+        )
+        assert "REP002" in codes(lint_source(src, "m.py"))
+
+    def test_seeded_default_rng_ok(self):
+        src = (
+            "from numpy.random import default_rng\n"
+            "def _f(seed):\n    return default_rng(seed)\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_seeded_random_class_ok(self):
+        src = "import random\ndef _f():\n    return random.Random(42)\n"
+        assert lint_source(src, "m.py") == []
+
+    def test_unseeded_random_class_fires(self):
+        src = "import random\ndef _f():\n    return random.Random()\n"
+        assert "REP002" in codes(lint_source(src, "m.py"))
+
+    def test_generator_method_not_flagged(self):
+        # rng.random() is a method on an object, not module state.
+        src = (
+            "from numpy.random import default_rng\n"
+            "def _f():\n    rng = default_rng(0)\n    return rng.random()\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+
+class TestRep003BareExcept:
+    def test_fires(self):
+        src = "def _f():\n    try:\n        pass\n    except:\n        pass\n"
+        assert "REP003" in codes(lint_source(src, "m.py"))
+
+    def test_typed_except_ok(self):
+        src = (
+            "def _f():\n    try:\n        pass\n"
+            "    except ValueError:\n        pass\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+
+class TestRep004Print:
+    def test_fires_in_library_module(self):
+        src = "def _f():\n    print('hi')\n"
+        assert "REP004" in codes(lint_source(src, "engine.py"))
+
+    def test_cli_exempt(self):
+        src = "def _f():\n    print('hi')\n"
+        assert lint_source(src, "src/repro/cli.py") == []
+
+    def test_viz_dir_exempt(self):
+        src = "def _f():\n    print('hi')\n"
+        assert lint_source(src, "src/repro/viz/ascii_art.py") == []
+
+
+class TestRep005MissingAll:
+    def test_fires_on_public_module(self):
+        assert "REP005" in codes(lint_source("def api():\n    pass\n", "m.py"))
+
+    def test_all_declared_ok(self):
+        src = "__all__ = ['api']\ndef api():\n    pass\n"
+        assert lint_source(src, "m.py") == []
+
+    def test_private_module_exempt(self):
+        assert lint_source("def api():\n    pass\n", "_private.py") == []
+
+    def test_init_not_exempt(self):
+        found = lint_source("def api():\n    pass\n", "__init__.py")
+        assert "REP005" in codes(found)
+
+    def test_private_defs_only_ok(self):
+        assert lint_source("def _helper():\n    pass\n", "m.py") == []
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses(self):
+        src = "def _f(x):\n    assert x  # noqa\n"
+        assert lint_source(src, "m.py") == []
+
+    def test_coded_noqa_suppresses_matching(self):
+        src = "def _f(x):\n    assert x  # noqa: REP001\n"
+        assert lint_source(src, "m.py") == []
+
+    def test_coded_noqa_keeps_other_rules(self):
+        src = "def _f(x):\n    assert x  # noqa: REP004\n"
+        assert "REP001" in codes(lint_source(src, "m.py"))
+
+
+class TestPaths:
+    def test_lint_file_and_paths(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("assert True\n")
+        assert codes(lint_file(str(bad))) == ["REP001"]
+        assert codes(lint_paths([str(tmp_path)])) == ["REP001"]
+
+    def test_skip_dirs(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("assert True\n")
+        tests = tmp_path / "tests"
+        tests.mkdir()
+        (tests / "test_x.py").write_text("assert True\n")
+        assert lint_paths([str(tmp_path)]) == []
+
+    def test_rules_documented(self):
+        assert set(LINT_RULES) == {
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+        }
+        assert all(desc for desc in LINT_RULES.values())
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes(self):
+        found = lint_paths([SRC])
+        assert found == [], "\n".join(str(v) for v in found)

@@ -1,0 +1,111 @@
+"""Theorem 1/2 static verification and full repro.core schedule coverage.
+
+This is the acceptance gate of the static analyzer: D_prefix and D_sort
+schedules on D_2..D_5 must verify edge-legal, deadlock-free, 1-port
+clean, and within (indeed exactly at) the theorem step counts — without
+a single engine run.
+"""
+
+import pytest
+
+from repro.analysis.static import (
+    core_schedule_cases,
+    extract_schedule,
+    run_schedule_checks,
+    verify_prefix_schedule,
+    verify_sort_schedule,
+    verify_theorems,
+)
+from repro.analysis.complexity import (
+    dual_prefix_comm_exact,
+    dual_sort_comm_exact,
+    theorem1_comm_bound,
+    theorem2_comp_bound,
+)
+
+NS = [2, 3, 4, 5]
+
+
+class TestTheorem1Static:
+    @pytest.mark.parametrize("n", NS)
+    def test_prefix_verifies(self, n):
+        report = verify_prefix_schedule(n)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.num_nodes == 2 ** (2 * n - 1)
+        assert report.comm_steps == dual_prefix_comm_exact(n) == 2 * n
+        assert report.comm_steps <= theorem1_comm_bound(n)
+        assert report.comp_steps == 2 * n
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_paper_literal_prefix_verifies(self, n):
+        report = verify_prefix_schedule(n, paper_literal=True)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.comm_steps == 2 * n + 1 == theorem1_comm_bound(n)
+
+
+class TestTheorem2Static:
+    @pytest.mark.parametrize("n", NS)
+    def test_sort_verifies(self, n):
+        report = verify_sort_schedule(n)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.comm_steps == dual_sort_comm_exact(n)
+        assert report.comp_steps == theorem2_comp_bound(n) == 2 * n * n - n
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_sort_single_payload_verifies(self, n):
+        report = verify_sort_schedule(n, payload_policy="single")
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.comm_steps == dual_sort_comm_exact(
+            n, payload_policy="single"
+        )
+
+
+class TestVerifyTheorems:
+    def test_sweep_all_ok(self):
+        reports = verify_theorems(2, 4)
+        assert len(reports) == 6
+        assert all(r.ok for r in reports)
+        assert {r.algo for r in reports} == {"dual_prefix", "dual_sort"}
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError, match="min_n"):
+            verify_theorems(3, 2)
+        with pytest.raises(ValueError, match="min_n"):
+            verify_theorems(0, 2)
+
+    def test_bad_algo_rejected(self):
+        with pytest.raises(ValueError, match="algos"):
+            verify_theorems(2, 2, algos=("quicksort",))
+
+    def test_prefix_only(self):
+        reports = verify_theorems(2, 3, algos=("prefix",))
+        assert [r.algo for r in reports] == ["dual_prefix", "dual_prefix"]
+
+
+class TestCoreCoverage:
+    """Every engine algorithm in repro.core extracts to a clean schedule."""
+
+    @pytest.mark.parametrize(
+        "name,topo,program",
+        [pytest.param(*case, id=case[0]) for case in core_schedule_cases(2)],
+    )
+    def test_schedule_is_clean(self, name, topo, program):
+        sched = extract_schedule(topo, program)
+        assert sched.completed, (name, sched.blocked)
+        found = run_schedule_checks(sched, topo)
+        assert found == [], [str(v) for v in found]
+
+    def test_reroute_case_present(self):
+        names = [name for name, _, _ in core_schedule_cases(2)]
+        assert any("reroute" in n for n in names)
+        assert any("degraded" in n for n in names)
+
+    @pytest.mark.parametrize(
+        "name,topo,program",
+        [pytest.param(*case, id=case[0]) for case in core_schedule_cases(3)],
+    )
+    def test_schedule_is_clean_n3(self, name, topo, program):
+        sched = extract_schedule(topo, program)
+        assert sched.completed, (name, sched.blocked)
+        found = run_schedule_checks(sched, topo)
+        assert found == [], [str(v) for v in found]

@@ -25,9 +25,44 @@ class TestSequentialPrefix:
         assert sequential_prefix([(1,), (2,)], CONCAT) == [(1,), (1, 2)]
 
 
+class TestSequentialPrefixEdgeCases:
+    def test_single_element_inclusive(self):
+        assert sequential_prefix([7], ADD) == [7]
+
+    def test_single_element_diminished(self):
+        # The diminished prefix of one element is the identity alone.
+        assert sequential_prefix([7], ADD, inclusive=False) == [0]
+
+    def test_empty_diminished(self):
+        assert sequential_prefix([], ADD, inclusive=False) == []
+
+    def test_identity_values_inclusive(self):
+        assert sequential_prefix([0, 0, 0], ADD) == [0, 0, 0]
+
+
 class TestCheckPrefix:
     def test_accepts_correct(self):
         check_prefix([1, 2, 3], [1, 3, 6], ADD)
+
+    def test_accepts_empty(self):
+        check_prefix([], [], ADD)
+        check_prefix([], [], ADD, inclusive=False)
+
+    def test_accepts_single_element(self):
+        check_prefix([5], [5], ADD)
+        check_prefix([5], [0], ADD, inclusive=False)
+
+    def test_rejects_single_element_mixups(self):
+        # Inclusive result offered against a diminished check and vice
+        # versa: length 1 is where the two conventions differ most subtly.
+        with pytest.raises(AssertionError, match="index 0"):
+            check_prefix([5], [5], ADD, inclusive=False)
+        with pytest.raises(AssertionError, match="index 0"):
+            check_prefix([5], [0], ADD)
+
+    def test_rejects_extra_output(self):
+        with pytest.raises(AssertionError, match="length"):
+            check_prefix([], [0], ADD)
 
     def test_rejects_wrong_value(self):
         with pytest.raises(AssertionError, match="index 2"):
@@ -60,3 +95,13 @@ class TestIsPermutation:
     def test_negative(self):
         assert not is_permutation_of([1, 1, 2], [1, 2, 2])
         assert not is_permutation_of([1], [1, 1])
+
+    def test_unhashable_elements(self):
+        # Multiset equality is sort-based, so unhashable items (lists)
+        # work where a Counter/set approach would raise TypeError.
+        assert is_permutation_of([[2], [1]], [[1], [2]])
+        assert not is_permutation_of([[1], [1]], [[1], [2]])
+
+    def test_mixed_hashable_and_unhashable(self):
+        assert is_permutation_of([(1, 2), [3]], [[3], (1, 2)])
+        assert not is_permutation_of([(1, 2), [3]], [[3], (1, 3)])

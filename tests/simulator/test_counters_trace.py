@@ -202,3 +202,32 @@ class TestTraceRecorder:
     def test_unknown_label_raises(self):
         with pytest.raises(KeyError):
             TraceRecorder().snapshot("missing", 1)
+
+    def test_record_array_validates_length(self):
+        t = TraceRecorder(num_nodes=4)
+        with pytest.raises(ValueError, match="expects exactly 4"):
+            t.record_array("x", [1, 2, 3])
+        with pytest.raises(ValueError, match="expects exactly 4"):
+            t.record_array("x", [1, 2, 3, 4, 5])
+        # Nothing was recorded by the rejected snapshots.
+        assert t.labels() == ()
+        t.record_array("x", [1, 2, 3, 4])
+        assert t.snapshot("x", 4) == [1, 2, 3, 4]
+
+    def test_record_array_validates_generators(self):
+        # The iterable is materialized before the check, so a too-short
+        # generator is caught just like a list.
+        t = TraceRecorder(num_nodes=3)
+        with pytest.raises(ValueError, match="has 2 values"):
+            t.record_array("x", (v for v in [1, 2]))
+
+    def test_record_array_unsized_recorder_accepts_any_length(self):
+        t = TraceRecorder()
+        t.record_array("x", [1, 2])
+        assert t.snapshot("x", 2) == [1, 2]
+
+    def test_bad_num_nodes_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            TraceRecorder(num_nodes=0)
+        with pytest.raises(ValueError, match="positive"):
+            TraceRecorder(num_nodes=-3)

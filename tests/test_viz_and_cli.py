@@ -122,6 +122,44 @@ class TestCli:
             main([])
         assert exc.value.code == 2
 
+    def test_check_schedule_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["check-schedule", "--max-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dual_prefix" in out and "dual_sort" in out
+        assert "ok" in out and "FAIL" not in out
+        assert "deadlock-free" in out
+
+    def test_check_schedule_prefix_only(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["check-schedule", "--algo", "prefix", "--max-n", "2", "--paper-literal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paper-literal" in out
+        assert "dual_sort" not in out
+
+    def test_lint_subcommand_clean_src(self, capsys):
+        import os
+
+        from repro.cli import main
+
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        assert main(["lint", src]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_lint_subcommand_flags_violations(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f():\n    assert True\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP005" in out
+        assert "2 lint finding(s)" in out
+
 
 class TestVizIntegration:
     def test_key_grid_renders_sort_trace(self, rng):
