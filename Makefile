@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint check-schedule bench-smoke bench-faults-smoke bench
+.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench
 
-## check: tier-1 tests + static analysis + bench smoke runs (what CI gates on)
-check: test lint check-schedule bench-smoke bench-faults-smoke
+## check: tier-1 tests + static analysis + timeline/bench smoke runs (what CI gates on)
+check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,11 @@ lint:
 ## check-schedule: static Theorem 1/2 schedule verification, D_2..D_5
 check-schedule:
 	$(PYTHON) -m repro check-schedule
+
+## timeline-smoke: record prefix+sort timelines, validate them against the
+## static schedules, and exercise both metrics exporters (exit 1 on divergence)
+timeline-smoke:
+	$(PYTHON) -m repro timeline --smoke
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke --out BENCH_smoke.json

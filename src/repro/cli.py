@@ -257,6 +257,101 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _run_recorded(algo: str, n: int, seed: int):
+    """Run ``algo`` on the engine with a timeline attached.
+
+    Returns ``(topo, recorder, engine_result, static_schedule)`` where the
+    static schedule is the analyzer's extraction of the *same* program —
+    the ground truth the recorded timeline is validated against.
+    """
+    from repro.analysis.static.extract import extract_schedule
+    from repro.core.dual_prefix import dual_prefix_engine, dual_prefix_program
+    from repro.core.dual_sort import (
+        dual_sort_engine,
+        dual_sort_schedule,
+        schedule_program,
+    )
+    from repro.obs import TimelineRecorder
+    from repro.simulator import use_timeline
+
+    rng = np.random.default_rng(seed)
+    if algo == "prefix":
+        dc = DualCube(n)
+        vals = [int(v) for v in rng.integers(0, 100, dc.num_nodes)]
+        recorder = TimelineRecorder(num_nodes=dc.num_nodes)
+        with use_timeline(recorder):
+            _, result = dual_prefix_engine(dc, vals, ADD)
+        static = extract_schedule(dc, dual_prefix_program(dc, vals, ADD))
+        return dc, recorder, result, static
+    rdc = RecursiveDualCube(n)
+    keys = [int(k) for k in rng.permutation(rdc.num_nodes)]
+    recorder = TimelineRecorder(num_nodes=rdc.num_nodes)
+    with use_timeline(recorder):
+        _, result = dual_sort_engine(rdc, keys)
+    static = extract_schedule(
+        rdc, schedule_program(rdc, keys, dual_sort_schedule(rdc.n))
+    )
+    return rdc, recorder, result, static
+
+
+def _cmd_timeline(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        cross_validate_timeline,
+        registry_from_counters,
+        registry_from_timeline,
+    )
+    from repro.viz.ascii_art import render_timeline_heatmap
+
+    algos = ("prefix", "sort") if args.smoke else (args.algo,)
+    n = 2 if args.smoke else args.n
+    status = 0
+    for algo in algos:
+        topo, recorder, result, static = _run_recorded(algo, n, args.seed)
+        counts = recorder.fault_counts()
+        print(
+            f"{algo} on {topo.name}: {recorder.num_cycles} cycles, "
+            f"{recorder.total_messages} messages, "
+            f"{sum(counts.values())} faults"
+        )
+        if not args.smoke:
+            print(render_timeline_heatmap(recorder))
+        problems = cross_validate_timeline(recorder, static)
+        if problems:
+            status = 1
+            print(f"timeline DIVERGES from the static schedule ({algo}):")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(
+                f"  validated: timeline matches the static schedule "
+                f"({len(static.events)} events over {static.steps} cycles)"
+            )
+        registry = registry_from_counters(result.counters)
+        registry_from_timeline(recorder, registry=registry)
+        if args.smoke:
+            # Exercise both exporters end to end; emptiness would mean the
+            # wiring silently broke even if the run itself was fine.
+            jsonl = registry.to_jsonlines()
+            prom = registry.to_prometheus()
+            if not jsonl.strip() or not prom.strip():
+                status = 1
+                print("  exporter produced empty output")
+            else:
+                print(
+                    f"  exporters ok: {len(jsonl.splitlines())} jsonl rows, "
+                    f"{len(prom.splitlines())} prometheus lines"
+                )
+        if args.export_jsonl:
+            Path(args.export_jsonl).write_text(registry.to_jsonlines())
+            print(f"  wrote {args.export_jsonl}")
+        if args.export_prom:
+            Path(args.export_prom).write_text(registry.to_prometheus())
+            print(f"  wrote {args.export_prom}")
+    return status
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.static import lint_paths
 
@@ -408,6 +503,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed wallclock slowdown factor for --compare",
     )
     sp.set_defaults(fn=_cmd_bench)
+
+    sp = sub.add_parser(
+        "timeline",
+        help="record an engine run per cycle: link heatmap, validation, metrics export",
+    )
+    sp.add_argument("--algo", choices=["prefix", "sort"], default="prefix")
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--export-jsonl", default=None, metavar="PATH",
+        help="write the run's metrics as JSON lines",
+    )
+    sp.add_argument(
+        "--export-prom", default=None, metavar="PATH",
+        help="write the run's metrics in Prometheus text format",
+    )
+    sp.add_argument(
+        "--smoke", action="store_true",
+        help="CI wiring check: n=2, both algorithms, validate + exercise both "
+             "exporters, no heatmap (exit 1 on any divergence)",
+    )
+    sp.set_defaults(fn=_cmd_timeline)
 
     sp = sub.add_parser("lint", help="repo lint (REP001-REP005, stdlib ast)")
     sp.add_argument(

@@ -36,6 +36,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.profile import NULL_PROFILER
 from repro.simulator import (
     CostCounters,
     Idle,
@@ -267,8 +268,15 @@ def execute_schedule_vec(
     payload_policy: str = "packed",
     counters: CostCounters | None = None,
     trace: TraceRecorder | None = None,
+    profiler=None,
 ) -> np.ndarray:
-    """Vectorized schedule executor (cost counters mirror the engine's cycles)."""
+    """Vectorized schedule executor (cost counters mirror the engine's cycles).
+
+    ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`) records one
+    wallclock span per :class:`ScheduleStep`, named by the step's
+    recursion segment (``step.phase``) so per-phase totals fall out of
+    :meth:`~repro.obs.profile.PhaseProfiler.totals`.
+    """
     _check_policy(payload_policy)
     arr = np.asarray(keys).copy()
     n = topo.num_nodes
@@ -276,19 +284,21 @@ def execute_schedule_vec(
         raise ValueError(
             f"expected {n} keys for {topo.name}, got shape {arr.shape}"
         )
+    prof = profiler if profiler is not None else NULL_PROFILER
     idx = np.arange(n, dtype=np.int64)
     if trace is not None:
         trace.record_array("input", arr)
     for k, step in enumerate(schedule):
-        partner = idx ^ (1 << step.dim)
-        pk = arr[partner]
-        keep_min = ((idx >> step.dim) & 1 == 0) != step.descending_mask(idx)
-        lo, hi = _elementwise_minmax(arr, pk)
-        arr = np.where(keep_min, lo, hi)
-        if counters is not None:
-            _count_step(counters, topo, step.dim, n, payload_policy)
-        if trace is not None:
-            trace.record_array(f"step {k:03d} dim {step.dim} [{step.phase}]", arr)
+        with prof.span(step.phase, step=k, dim=step.dim):
+            partner = idx ^ (1 << step.dim)
+            pk = arr[partner]
+            keep_min = ((idx >> step.dim) & 1 == 0) != step.descending_mask(idx)
+            lo, hi = _elementwise_minmax(arr, pk)
+            arr = np.where(keep_min, lo, hi)
+            if counters is not None:
+                _count_step(counters, topo, step.dim, n, payload_policy)
+            if trace is not None:
+                trace.record_array(f"step {k:03d} dim {step.dim} [{step.phase}]", arr)
     return arr
 
 
@@ -348,11 +358,18 @@ def dual_sort_vec(
     payload_policy: str = "packed",
     counters: CostCounters | None = None,
     trace: TraceRecorder | None = None,
+    profiler=None,
 ) -> np.ndarray:
     """Vectorized Algorithm 3; returns keys sorted in node-address order."""
     sched = dual_sort_schedule(rdc.n, descending=descending)
     return execute_schedule_vec(
-        rdc, keys, sched, payload_policy=payload_policy, counters=counters, trace=trace
+        rdc,
+        keys,
+        sched,
+        payload_policy=payload_policy,
+        counters=counters,
+        trace=trace,
+        profiler=profiler,
     )
 
 
@@ -365,11 +382,14 @@ def dual_sort(
     payload_policy: str = "packed",
     counters: CostCounters | None = None,
     trace: TraceRecorder | None = None,
+    profiler=None,
 ):
     """Sorting on the dual-cube — the library's headline entry point.
 
     ``backend`` selects ``"vectorized"`` (fast; returns the sorted array)
     or ``"engine"`` (cycle-accurate; returns ``(keys, EngineResult)``).
+    ``profiler`` records per-:class:`ScheduleStep` wallclock spans
+    (vectorized backend only).
     """
     if backend == "vectorized":
         return dual_sort_vec(
@@ -379,6 +399,7 @@ def dual_sort(
             payload_policy=payload_policy,
             counters=counters,
             trace=trace,
+            profiler=profiler,
         )
     if backend == "engine":
         return dual_sort_engine(

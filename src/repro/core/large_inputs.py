@@ -30,6 +30,7 @@ from repro.core.dual_sort import (
     dual_sort_schedule,
 )
 from repro.core.ops import AssocOp, combine_arrays
+from repro.obs.profile import NULL_PROFILER as _NULL_PROFILER
 from repro.simulator import CostCounters
 from repro.topology.dualcube import DualCube
 from repro.topology.recursive import RecursiveDualCube
@@ -55,35 +56,46 @@ def large_prefix(
     op: AssocOp,
     *,
     counters: CostCounters | None = None,
+    profiler=None,
 ) -> np.ndarray:
     """Prefix of N = B * 2^(2n-1) values on D_n; returns the full prefix array.
 
     Global index order: node block k (input order) covers indices
     ``[kB, (k+1)B)``.  Communication cost equals plain `D_prefix`.
+
+    ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`) records
+    wallclock spans for the three phases the cost model distinguishes:
+    ``local-prefix`` (B-1 local rounds), ``network`` (the diminished
+    `D_prefix` on block totals — the only communicating phase), and
+    ``fold`` (B offset applications).
     """
     blocks, b = _blocked(values, dc.num_nodes)
+    prof = profiler if profiler is not None else _NULL_PROFILER
 
     # Local inclusive prefix inside each block (vector over nodes, loop
-    # over the block — B local rounds).
-    local = blocks.copy()
-    if local.dtype == object:
-        local = local.astype(object)
-    for k in range(1, b):
-        local[:, k] = combine_arrays(op, local[:, k - 1], local[:, k])
-    if counters is not None and b > 1:
-        counters.record_comp_step(ops_each=b - 1)
+    # over the block — B local rounds).  A copy of an object-dtype input
+    # is already object dtype, so no dtype coercion is needed here; the
+    # CONCAT regression test pins that behaviour.
+    with prof.span("local-prefix", block=b):
+        local = blocks.copy()
+        for k in range(1, b):
+            local[:, k] = combine_arrays(op, local[:, k - 1], local[:, k])
+        if counters is not None and b > 1:
+            counters.record_comp_step(ops_each=b - 1)
 
-    totals = local[:, -1]
-    offsets = dual_prefix_vec(
-        dc, totals, op, inclusive=False, counters=counters
-    )
+    with prof.span("network"):
+        totals = local[:, -1]
+        offsets = dual_prefix_vec(
+            dc, totals, op, inclusive=False, counters=counters
+        )
 
-    out = np.empty_like(local)
-    for k in range(b):
-        out[:, k] = combine_arrays(op, offsets, local[:, k])
-    if counters is not None:
-        counters.record_comp_step(ops_each=b)
-    return out.reshape(-1)
+    with prof.span("fold", block=b):
+        out = np.empty_like(local)
+        for k in range(b):
+            out[:, k] = combine_arrays(op, offsets, local[:, k])
+        if counters is not None:
+            counters.record_comp_step(ops_each=b)
+        return out.reshape(-1)
 
 
 def large_prefix_engine(
@@ -167,11 +179,16 @@ def large_sort(
     descending: bool = False,
     payload_policy: str = "packed",
     counters: CostCounters | None = None,
+    profiler=None,
 ) -> np.ndarray:
     """Sort N = B * 2^(2n-1) numeric keys on D_n; returns the sorted array.
 
     Keys are indexed by (recursive node address, block offset); the output
     is the globally sorted flat sequence in that same blocked order.
+
+    ``profiler`` records one wallclock span per merge-split round, named
+    by the round's recursion segment (``step.phase``), plus a
+    ``local-sort`` span for the initial per-block sort.
     """
     if payload_policy not in ("packed", "single"):
         raise ValueError(
@@ -180,20 +197,23 @@ def large_sort(
     blocks, b = _blocked(keys, rdc.num_nodes)
     if blocks.dtype == object:
         raise TypeError("large_sort supports numeric keys only")
-    arr = np.sort(blocks, axis=1)
-    if counters is not None:
-        # Local sort: ~B log2 B comparisons per node, one local round.
-        counters.record_comp_step(ops_each=max(1, b * max(1, b.bit_length() - 1)))
+    prof = profiler if profiler is not None else _NULL_PROFILER
+    with prof.span("local-sort", block=b):
+        arr = np.sort(blocks, axis=1)
+        if counters is not None:
+            # Local sort: ~B log2 B comparisons per node, one local round.
+            counters.record_comp_step(ops_each=max(1, b * max(1, b.bit_length() - 1)))
 
     idx = np.arange(rdc.num_nodes, dtype=np.int64)
-    for step in dual_sort_schedule(rdc.n, descending=descending):
-        partner = idx ^ (1 << step.dim)
-        pk = arr[partner]
-        keep_min = ((idx >> step.dim) & 1 == 0) != step.descending_mask(idx)
-        merged = np.sort(np.concatenate([arr, pk], axis=1), axis=1)
-        arr = np.where(keep_min[:, None], merged[:, :b], merged[:, b:])
-        if counters is not None:
-            _count_block_step(counters, rdc, step, rdc.num_nodes, b, payload_policy)
+    for k, step in enumerate(dual_sort_schedule(rdc.n, descending=descending)):
+        with prof.span(step.phase, step=k, dim=step.dim):
+            partner = idx ^ (1 << step.dim)
+            pk = arr[partner]
+            keep_min = ((idx >> step.dim) & 1 == 0) != step.descending_mask(idx)
+            merged = np.sort(np.concatenate([arr, pk], axis=1), axis=1)
+            arr = np.where(keep_min[:, None], merged[:, :b], merged[:, b:])
+            if counters is not None:
+                _count_block_step(counters, rdc, step, rdc.num_nodes, b, payload_policy)
     if descending:
         # Merge-split keeps blocks internally ascending; a descending global
         # order needs each block flattened high-to-low (local, no messages).

@@ -1,0 +1,370 @@
+"""Metrics registry with JSON-lines and Prometheus text exporters.
+
+A :class:`MetricsRegistry` holds named :class:`Counter`, :class:`Gauge`
+and :class:`Histogram` instruments, each optionally labelled, and renders
+every sample in two interchange formats:
+
+* **JSON lines** (:meth:`MetricsRegistry.to_jsonlines`) — one JSON object
+  per sample, stable key order, suitable for appending to a run log;
+* **Prometheus text format** (:meth:`MetricsRegistry.to_prometheus`) —
+  ``# HELP``/``# TYPE`` headers, ``_total`` suffix on counters,
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` on
+  histograms, per the text-format spec.
+
+Both exports are deterministic (registration order, sorted label keys),
+so golden tests can compare them byte for byte.
+
+:func:`registry_from_counters` and :func:`registry_from_timeline` build a
+registry from the simulator's existing instrumentation — the
+:class:`~repro.simulator.counters.CostCounters` ledger and the
+:class:`~repro.obs.timeline.TimelineRecorder` — so every quantity the
+cost model measures is exportable without bespoke glue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry_from_counters",
+    "registry_from_timeline",
+]
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(
+            f"metric name must be non-empty [a-zA-Z0-9_:], got {name!r}"
+        )
+    if name[0].isdigit():
+        raise ValueError(f"metric name must not start with a digit: {name!r}")
+    return name
+
+
+def _fmt_value(v: float) -> str:
+    """Prometheus-style number: integers bare, floats as repr, inf as +Inf."""
+    if v == math.inf:
+        return "+Inf"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return str(v)
+
+
+def _fmt_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            k, str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Common shape: a name, help text, and string labels."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can go up or down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram of observed values."""
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 250, 500, 1000)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        buckets: Sequence[float] | None = None,
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in (buckets or self.DEFAULT_BUCKETS))
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram buckets must be distinct and increasing, got {bounds}"
+            )
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)  # non-cumulative per bound
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at ``+Inf``."""
+        out = []
+        running = 0
+        for bound, c in zip(self.bounds, self.bucket_counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + self.inf_count))
+        return out
+
+
+class MetricsRegistry:
+    """Ordered collection of metric instruments with shared exporters.
+
+    Instruments are created (or fetched, when the same name+labels was
+    registered before) through :meth:`counter`, :meth:`gauge` and
+    :meth:`histogram`; re-registering a name under a different instrument
+    kind is an error.
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple, _Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Metric:
+        key = (name, tuple(sorted((labels or {}).items())))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, labels, **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def metrics(self) -> Iterable[_Metric]:
+        """All instruments in registration order."""
+        return list(self._metrics.values())
+
+    # -- exporters -------------------------------------------------------------
+
+    def to_jsonlines(self) -> str:
+        """One JSON object per instrument, newline-terminated."""
+        lines = []
+        for m in self.metrics():
+            obj: dict = {"name": m.name, "type": m.kind}
+            if m.labels:
+                obj["labels"] = dict(sorted(m.labels.items()))
+            if isinstance(m, Histogram):
+                obj["buckets"] = {
+                    _fmt_value(b): c for b, c in m.cumulative()
+                }
+                obj["sum"] = m.sum
+                obj["count"] = m.count
+            else:
+                obj["value"] = m.value
+            lines.append(json.dumps(obj, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_prometheus(self) -> str:
+        """Prometheus exposition text format, newline-terminated."""
+        out: list[str] = []
+        seen_headers: set[str] = set()
+        for m in self.metrics():
+            sample_name = (
+                f"{m.name}_total" if isinstance(m, Counter) else m.name
+            )
+            if m.name not in seen_headers:
+                seen_headers.add(m.name)
+                if m.help:
+                    out.append(f"# HELP {m.name} {m.help}")
+                out.append(f"# TYPE {m.name} {m.kind}")
+            if isinstance(m, Histogram):
+                for bound, cum in m.cumulative():
+                    labels = dict(m.labels)
+                    labels["le"] = _fmt_value(bound)
+                    out.append(
+                        f"{m.name}_bucket{_fmt_labels(labels)} {cum}"
+                    )
+                out.append(
+                    f"{m.name}_sum{_fmt_labels(m.labels)} {_fmt_value(m.sum)}"
+                )
+                out.append(f"{m.name}_count{_fmt_labels(m.labels)} {m.count}")
+            else:
+                out.append(
+                    f"{sample_name}{_fmt_labels(m.labels)} "
+                    f"{_fmt_value(m.value)}"
+                )
+        return "\n".join(out) + ("\n" if out else "")
+
+
+# -- feeds from the existing instrumentation -----------------------------------
+
+_COUNTER_FIELDS = (
+    ("cycles", "repro_comm_steps", "Lockstep communication steps (cycles)"),
+    ("active_cycles", "repro_active_cycles", "Cycles in which messages flew"),
+    ("messages", "repro_messages", "Point-to-point messages delivered"),
+    ("payload_items", "repro_payload_items", "Key-sized payload items carried"),
+    ("messages_dropped", "repro_messages_dropped", "Messages lost to fault injection"),
+    ("retries", "repro_retries", "Drop-forced request retries"),
+    ("timeouts", "repro_timeouts", "Requests abandoned by the timeout"),
+    ("node_crashes", "repro_node_crashes", "Nodes killed by the fault plan"),
+)
+
+
+def registry_from_counters(
+    counters,
+    *,
+    registry: MetricsRegistry | None = None,
+    labels: dict | None = None,
+) -> MetricsRegistry:
+    """Feed a :class:`~repro.simulator.counters.CostCounters` ledger.
+
+    Every summary quantity becomes a counter/gauge; the per-node send and
+    receive tallies become a histogram each (distribution over nodes), so
+    load skew is visible without per-node series.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for attr, name, help in _COUNTER_FIELDS:
+        reg.counter(name, help, labels).inc(int(getattr(counters, attr)))
+    reg.gauge(
+        "repro_comp_steps",
+        "Parallel computation steps (longest per-node chain)",
+        labels,
+    ).set(counters.comp_steps)
+    reg.gauge(
+        "repro_max_message_payload",
+        "Largest payload carried by any single message",
+        labels,
+    ).set(counters.max_message_payload)
+    sends = reg.histogram(
+        "repro_node_sends",
+        "Distribution of per-node send counts",
+        labels,
+        buckets=(0, 1, 2, 5, 10, 20, 50, 100, 1000),
+    )
+    recvs = reg.histogram(
+        "repro_node_recvs",
+        "Distribution of per-node receive counts",
+        labels,
+        buckets=(0, 1, 2, 5, 10, 20, 50, 100, 1000),
+    )
+    for v in counters.sends:
+        sends.observe(int(v))
+    for v in counters.recvs:
+        recvs.observe(int(v))
+    return reg
+
+
+def registry_from_timeline(
+    recorder,
+    *,
+    registry: MetricsRegistry | None = None,
+    labels: dict | None = None,
+) -> MetricsRegistry:
+    """Feed a :class:`~repro.obs.timeline.TimelineRecorder`.
+
+    Emits run-level gauges (cycles, links touched), per-fault-kind
+    counters, and histograms of per-cycle message counts and per-link
+    total loads — the timeline quantities the E11 congestion experiment
+    reads off.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    aggs = recorder.cycle_aggregates()
+    reg.gauge(
+        "repro_timeline_cycles", "Cycles covered by the timeline", labels
+    ).set(recorder.num_cycles)
+    reg.counter(
+        "repro_timeline_messages", "Messages recorded on the timeline", labels
+    ).inc(recorder.total_messages)
+    for kind, count in sorted(recorder.fault_counts().items()):
+        fl = dict(labels or {})
+        fl["kind"] = kind
+        reg.counter(
+            "repro_timeline_faults", "Fault events by kind", fl
+        ).inc(count)
+    per_cycle = reg.histogram(
+        "repro_cycle_messages",
+        "Distribution of messages per cycle",
+        labels,
+        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+    )
+    for agg in aggs:
+        per_cycle.observe(agg.messages)
+    link_hist = reg.histogram(
+        "repro_link_load",
+        "Distribution of total per-link message loads",
+        labels,
+        buckets=(1, 2, 4, 8, 16, 32, 64),
+    )
+    for load in recorder.link_loads().values():
+        link_hist.observe(load)
+    return reg

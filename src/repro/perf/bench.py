@@ -14,11 +14,13 @@ from __future__ import annotations
 import json
 import platform
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
+
+from repro.obs.profile import PhaseProfiler
 
 from repro.core.dual_prefix import dual_prefix_engine, dual_prefix_vec
 from repro.core.dual_sort import dual_sort_engine, dual_sort_vec
@@ -41,7 +43,13 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+# Schemas this loader still understands.  Version 2 added the per-record
+# ``phases`` dict (wallclock split per algorithm phase); version-1 files
+# simply lack it, and ``compare_bench`` only reads the exact-cost fields,
+# so old baselines keep regression-checking new runs.
+_SUPPORTED_SCHEMAS = (1, 2)
 
 # Cost fields that must reproduce exactly between runs (they are
 # deterministic functions of the algorithm, not the machine).  The fault
@@ -76,6 +84,10 @@ class BenchRecord:
     messages_dropped: int = 0
     retries: int = 0
     timeouts: int = 0
+    # Wallclock seconds per algorithm phase (schema v2; empty when the
+    # benchmark has no phase instrumentation).  Not regression-checked:
+    # timings are machine-dependent, unlike the exact cost fields.
+    phases: dict = field(default_factory=dict)
 
     @property
     def key(self) -> tuple[str, str, int]:
@@ -98,7 +110,13 @@ def _time_best(fn: Callable[[], CostCounters], repeats: int) -> tuple[float, Cos
 
 
 def _from_counters(
-    bench: str, backend: str, n: int, num_nodes: int, wall: float, c: CostCounters
+    bench: str,
+    backend: str,
+    n: int,
+    num_nodes: int,
+    wall: float,
+    c: CostCounters,
+    phases: dict | None = None,
 ) -> BenchRecord:
     s = c.summary()
     return BenchRecord(
@@ -115,6 +133,7 @@ def _from_counters(
         messages_dropped=s["messages_dropped"],
         retries=s["retries"],
         timeouts=s["timeouts"],
+        phases=dict(phases or {}),
     )
 
 
@@ -143,11 +162,14 @@ def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
     rdc = RecursiveDualCube(n)
     keys = rng.permutation(rdc.num_nodes)
 
+    phase_box: dict = {}
     if backend == "vectorized":
 
         def run() -> CostCounters:
             counters = CostCounters(rdc.num_nodes)
-            dual_sort_vec(rdc, keys, counters=counters)
+            prof = PhaseProfiler()
+            dual_sort_vec(rdc, keys, counters=counters, profiler=prof)
+            phase_box.update(prof.totals())
             return counters
 
     else:
@@ -157,21 +179,28 @@ def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
             return result.counters
 
     wall, counters = _time_best(run, repeats)
-    return _from_counters("dual_sort", backend, n, rdc.num_nodes, wall, counters)
+    return _from_counters(
+        "dual_sort", backend, n, rdc.num_nodes, wall, counters, phase_box
+    )
 
 
 def _bench_large_prefix(n: int, block: int, rng, repeats: int) -> BenchRecord:
     dc = DualCube(n)
     vals = rng.integers(0, 1000, dc.num_nodes * block)
 
+    phase_box: dict = {}
+
     def run() -> CostCounters:
         counters = CostCounters(dc.num_nodes)
-        large_prefix(dc, vals, ADD, counters=counters)
+        prof = PhaseProfiler()
+        large_prefix(dc, vals, ADD, counters=counters, profiler=prof)
+        phase_box.update(prof.totals())
         return counters
 
     wall, counters = _time_best(run, repeats)
     return _from_counters(
-        f"large_prefix_b{block}", "vectorized", n, dc.num_nodes, wall, counters
+        f"large_prefix_b{block}", "vectorized", n, dc.num_nodes, wall, counters,
+        phase_box,
     )
 
 
@@ -179,14 +208,19 @@ def _bench_large_sort(n: int, block: int, rng, repeats: int) -> BenchRecord:
     rdc = RecursiveDualCube(n)
     keys = rng.permutation(rdc.num_nodes * block)
 
+    phase_box: dict = {}
+
     def run() -> CostCounters:
         counters = CostCounters(rdc.num_nodes)
-        large_sort(rdc, keys, counters=counters)
+        prof = PhaseProfiler()
+        large_sort(rdc, keys, counters=counters, profiler=prof)
+        phase_box.update(prof.totals())
         return counters
 
     wall, counters = _time_best(run, repeats)
     return _from_counters(
-        f"large_sort_b{block}", "vectorized", n, rdc.num_nodes, wall, counters
+        f"large_sort_b{block}", "vectorized", n, rdc.num_nodes, wall, counters,
+        phase_box,
     )
 
 
@@ -251,6 +285,35 @@ def _bench_traffic(n: int, pairs_per_node: int, rng, repeats: int) -> BenchRecor
     return _from_counters("run_traffic", "router", n, dc.num_nodes, wall, counters)
 
 
+def _bench_fault_traffic(n: int, pairs_per_node: int, rng, repeats: int) -> BenchRecord:
+    """Random traffic under the seeded drop plan (the E11 fault row).
+
+    The counter mapping keeps both hop ledgers visible: ``messages`` is
+    physical link crossings (``total_hops``, attempts included),
+    ``payload_items`` is logical hops (``path_hops``), and ``retries`` is
+    the retransmission count — so ``messages - payload_items == retries``
+    reproduces exactly run over run.
+    """
+    dc = DualCube(n)
+    pairs = random_pairs(dc.num_nodes, pairs_per_node * dc.num_nodes, rng)
+    plan = FaultPlan(**_FAULT_DROP_PLAN)
+
+    def run() -> CostCounters:
+        stats = run_traffic(
+            dc, lambda u, v: route(dc, u, v), pairs, fault_plan=plan
+        )
+        counters = CostCounters(dc.num_nodes)
+        counters.messages = stats.total_hops
+        counters.payload_items = stats.path_hops
+        counters.max_message_payload = 1 if pairs else 0
+        counters.retries = stats.retransmissions
+        counters.messages_dropped = stats.retransmissions
+        return counters
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters("fault_traffic", "router", n, dc.num_nodes, wall, counters)
+
+
 def run_bench(
     *,
     max_n: int = 5,
@@ -291,6 +354,7 @@ def run_bench(
     rng = np.random.default_rng(seed + fn)
     records.extend(_bench_faulty("prefix", fn, rng, repeats))
     records.extend(_bench_faulty("sort", fn, rng, repeats))
+    records.append(_bench_fault_traffic(fn, pairs_per_node, rng, repeats))
 
     return {
         "schema": SCHEMA_VERSION,
@@ -316,10 +380,10 @@ def load_bench(path: str | Path) -> dict:
     """Load a bench payload, checking the schema version."""
     payload = json.loads(Path(path).read_text())
     schema = payload.get("schema")
-    if schema != SCHEMA_VERSION:
+    if schema not in _SUPPORTED_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported bench schema {schema!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"(expected one of {_SUPPORTED_SCHEMAS})"
         )
     return payload
 

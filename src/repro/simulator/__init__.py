@@ -37,6 +37,7 @@ from repro.simulator.engine import (
     run_spmd,
     use_matching,
     use_fault_plan,
+    use_timeline,
 )
 
 __all__ = [
@@ -64,4 +65,5 @@ __all__ = [
     "run_spmd",
     "use_matching",
     "use_fault_plan",
+    "use_timeline",
 ]

@@ -87,6 +87,26 @@ class CostCounters:
         self.recvs = np.zeros(num_nodes, dtype=np.int64)
         self._comp_calls = np.zeros(num_nodes, dtype=np.int64)
         self._comp_ops = np.zeros(num_nodes, dtype=np.int64)
+        self._timeline = None
+
+    def attach_timeline(self, recorder) -> None:
+        """Mirror bulk lockstep rounds into a timeline recorder.
+
+        The vectorized backends have no engine cycles — their unit of
+        progress is the bulk round recorded through
+        :meth:`record_comm_step`/:meth:`record_comp_step`.  With a
+        recorder attached (duck-typed: anything with ``record_comm_step``
+        and ``record_comp_step``, normally a
+        :class:`~repro.obs.timeline.TimelineRecorder`), each bulk round
+        also emits one coarse per-step timeline record.  Pass ``None`` to
+        detach.
+        """
+        if recorder is not None and not hasattr(recorder, "record_comm_step"):
+            raise TypeError(
+                f"expected a timeline recorder with record_comm_step/"
+                f"record_comp_step or None, got {type(recorder)!r}"
+            )
+        self._timeline = recorder
 
     # -- engine-side hooks ---------------------------------------------------
 
@@ -145,6 +165,10 @@ class CostCounters:
         )
         if messages and max_payload > self.max_message_payload:
             self.max_message_payload = max_payload
+        if self._timeline is not None:
+            self._timeline.record_comm_step(
+                messages, payload_items, max_payload
+            )
 
     def record_comp_step(self, ops_each: int = 1, ranks=None) -> None:
         """One lockstep computation round performed in bulk.
@@ -161,6 +185,8 @@ class CostCounters:
             idx = np.asarray(ranks, dtype=np.int64)
             np.add.at(self._comp_calls, idx, 1)
             np.add.at(self._comp_ops, idx, ops_each)
+        if self._timeline is not None:
+            self._timeline.record_comp_step(ops_each)
 
     def record_bulk(
         self,

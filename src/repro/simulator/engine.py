@@ -70,13 +70,26 @@ from repro.simulator.requests import Idle, Recv, Request, Send, SendRecv, Shift
 from repro.simulator.trace import TraceRecorder
 from repro.topology.base import Topology
 
-__all__ = ["Engine", "EngineResult", "run_spmd", "use_matching", "use_fault_plan"]
+__all__ = [
+    "Engine",
+    "EngineResult",
+    "run_spmd",
+    "use_matching",
+    "use_fault_plan",
+    "use_timeline",
+]
 
 Program = Callable[[NodeCtx], Generator[Request, Any, Any]]
 
 _MATCHINGS = ("indexed", "legacy")
 _DEFAULT_MATCHING = "indexed"
 _DEFAULT_FAULT_PLAN: FaultPlan | None = None
+_DEFAULT_TIMELINE = None
+
+# IR names for the request-kind codes (indexed in _IDLE.._SHIFT order);
+# timelines tag each delivery with its sending leg's kind so recorded
+# events compare field-for-field with the static extractor's.
+_KIND_NAMES = ("idle", "send", "recv", "sendrecv", "shift")
 
 
 @contextmanager
@@ -121,6 +134,36 @@ def use_fault_plan(plan: FaultPlan | None):
         yield
     finally:
         _DEFAULT_FAULT_PLAN = previous
+
+
+@contextmanager
+def use_timeline(recorder):
+    """Temporarily install a default timeline recorder for nested runs.
+
+    Mirrors :func:`use_matching`: algorithms call :func:`run_spmd` without
+    exposing engine knobs, and this context manager routes those internal
+    runs through a :class:`~repro.obs.timeline.TimelineRecorder`::
+
+        tl = TimelineRecorder(dc.num_nodes)
+        with use_timeline(tl):
+            prefixes, result = dual_prefix_engine(dc, values, ADD)
+
+    The recorder is duck-typed (anything with ``record_message``,
+    ``record_fault``, ``bulk_load_messages`` and ``set_cycles``) so the
+    simulator has no import dependency on :mod:`repro.obs`.
+    """
+    global _DEFAULT_TIMELINE
+    if recorder is not None and not hasattr(recorder, "record_message"):
+        raise TypeError(
+            f"expected a timeline recorder (record_message/record_fault/"
+            f"bulk_load_messages/set_cycles) or None, got {type(recorder)!r}"
+        )
+    previous = _DEFAULT_TIMELINE
+    _DEFAULT_TIMELINE = recorder
+    try:
+        yield
+    finally:
+        _DEFAULT_TIMELINE = previous
 
 
 @dataclass
@@ -176,6 +219,13 @@ class Engine:
         recovery semantics described in ``docs/model.md``.  ``None`` uses
         the :func:`use_fault_plan` default (normally no plan).  An empty
         plan takes the exact fault-free code path.
+    timeline:
+        Optional per-cycle :class:`~repro.obs.timeline.TimelineRecorder`
+        receiving one link event per delivered message and one fault
+        event per drop/timeout/crash.  Works with both matchers *and*
+        with ``fast=True`` (the fast path buffers events with their cycle
+        numbers and bulk-flushes per-cycle records at the end).  ``None``
+        uses the :func:`use_timeline` default (normally no recorder).
     """
 
     def __init__(
@@ -189,10 +239,12 @@ class Engine:
         matching: str | None = None,
         fast: bool | None = None,
         fault_plan: FaultPlan | None = None,
+        timeline=None,
     ):
         self.topo = topo
         self.program = program
         self.trace = trace
+        self.timeline = timeline if timeline is not None else _DEFAULT_TIMELINE
         self.log_messages = log_messages
         self.max_cycles = max_cycles
         if matching is None:
@@ -255,6 +307,10 @@ class Engine:
         counters = CostCounters(n)
         fast = self.fast
         fp = self._fp
+        tl = self.timeline
+        # Fast-mode timeline buffer: (cycle, src, dst, size, kind) tuples,
+        # bulk-flushed so per-cycle resolution survives the fast path.
+        tl_buffer: list[tuple[int, int, int, int, str]] = []
         message_log: list[Message] | None = [] if self.log_messages else None
 
         IDLE, SENDRECV = self._IDLE, self._SENDRECV
@@ -429,6 +485,8 @@ class Engine:
                         crash_watch.discard(rank)
                         crashed.append(rank)
                         counters.record_crash()
+                        if tl is not None:
+                            tl.record_fault(cycle, "crash", rank=rank)
                         gen = gens[rank]
                         if gen is not None:
                             gen.close()
@@ -499,6 +557,10 @@ class Engine:
                         ):
                             drops_now += 1
                             counters.record_drop()
+                            if tl is not None:
+                                tl.record_fault(
+                                    cycle, "drop", rank=rank, src=rank, dst=st
+                                )
                             retry_count[rank] += 1
                             if retry_count[rank] > fp.max_retries:
                                 raise RetryLimitError(
@@ -529,8 +591,19 @@ class Engine:
                                 f_maxp = size
                             f_sends[rank] += 1
                             f_recvs[st] += 1
+                            if tl is not None:
+                                tl_buffer.append(
+                                    (cycle, rank, st, size,
+                                     _KIND_NAMES[kind[rank]])
+                                )
                         else:
                             counters.record_delivery(rank, st, payload)
+                            if tl is not None:
+                                tl.record_message(
+                                    cycle, rank, st,
+                                    payload_size(payload),
+                                    _KIND_NAMES[kind[rank]],
+                                )
                             if message_log is not None:
                                 message_log.append(
                                     Message(rank, st, payload, cycle)
@@ -546,6 +619,8 @@ class Engine:
                             continue  # completed this cycle
                         if cycle - issue_cycle[rank] >= fp.timeout:
                             counters.record_timeout()
+                            if tl is not None:
+                                tl.record_fault(cycle, "timeout", rank=rank)
                             if fp.on_timeout == "raise":
                                 raise RequestTimeoutError(
                                     rank, reqs[rank], cycle, fp.timeout
@@ -596,6 +671,10 @@ class Engine:
                     sends=f_sends,
                     recvs=f_recvs,
                 )
+            if tl is not None:
+                if tl_buffer:
+                    tl.bulk_load_messages(tl_buffer)
+                tl.set_cycles(min(cycle, self.max_cycles))
 
         return EngineResult(
             returns=returns,
@@ -624,6 +703,7 @@ class Engine:
         n = topo.num_nodes
         counters = CostCounters(n)
         fp = self._fp
+        tl = self.timeline
         message_log: list[Message] | None = [] if self.log_messages else None
 
         gens: list[Generator[Request, Any, Any] | None] = [None] * n
@@ -679,6 +759,8 @@ class Engine:
                     crash_watch.discard(rank)
                     crashed.append(rank)
                     counters.record_crash()
+                    if tl is not None:
+                        tl.record_fault(cycle, "crash", rank=rank)
                     gen = gens[rank]
                     if gen is not None:
                         gen.close()
@@ -734,6 +816,11 @@ class Engine:
                 for rank in dropped_ranks:
                     drops_now += 1
                     counters.record_drop()
+                    if tl is not None:
+                        tl.record_fault(
+                            cycle, "drop", rank=rank, src=rank,
+                            dst=self._send_leg_dst(active[rank]),
+                        )
                     retry_count[rank] += 1
                     if retry_count[rank] > fp.max_retries:
                         raise RetryLimitError(
@@ -758,6 +845,11 @@ class Engine:
                     payload = req.payload
                     counters.record_delivery(rank, dst, payload)
                     deliveries += 1
+                    if tl is not None:
+                        tl.record_message(
+                            cycle, rank, dst, payload_size(payload),
+                            self._req_kind_name(req),
+                        )
                     if message_log is not None:
                         message_log.append(Message(rank, dst, payload, cycle))
                 completed[rank] = self._incoming_payload(rank, req, active)
@@ -770,6 +862,8 @@ class Engine:
                         continue  # held, not blocked
                     if cycle - issue_cycle[rank] >= fp.timeout:
                         counters.record_timeout()
+                        if tl is not None:
+                            tl.record_fault(cycle, "timeout", rank=rank)
                         if fp.on_timeout == "raise":
                             raise RequestTimeoutError(
                                 rank, snapshot[rank], cycle, fp.timeout
@@ -788,6 +882,9 @@ class Engine:
             for rank in sorted(completed):
                 advance(rank, completed[rank])
 
+        if tl is not None:
+            tl.set_cycles(cycle)
+
         return EngineResult(
             returns=returns,
             counters=counters,
@@ -795,6 +892,19 @@ class Engine:
             message_log=message_log,
             crashed_ranks=tuple(sorted(crashed)),
         )
+
+    @staticmethod
+    def _req_kind_name(req: Request) -> str:
+        """IR kind name of ``req`` (matches the indexed matcher's codes)."""
+        if isinstance(req, SendRecv):
+            return "sendrecv"
+        if isinstance(req, Shift):
+            return "shift"
+        if isinstance(req, Send):
+            return "send"
+        if isinstance(req, Recv):
+            return "recv"
+        return "idle"
 
     @staticmethod
     def _send_leg_dst(req: Request) -> int | None:
@@ -899,6 +1009,7 @@ def run_spmd(
     matching: str | None = None,
     fast: bool | None = None,
     fault_plan: FaultPlan | None = None,
+    timeline=None,
 ) -> EngineResult:
     """One-shot convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -910,4 +1021,5 @@ def run_spmd(
         matching=matching,
         fast=fast,
         fault_plan=fault_plan,
+        timeline=timeline,
     ).run()

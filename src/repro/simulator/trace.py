@@ -64,14 +64,29 @@ class TraceRecorder:
         """Labels in first-recorded order."""
         return tuple(self._label_order)
 
+    def _ranks(self, label: str) -> dict[int, list[Any]]:
+        """Per-rank values under ``label``; a helpful KeyError if unknown.
+
+        A bare ``KeyError: 'label'`` from the internal dict told the caller
+        nothing about what *was* recorded; list the known labels instead.
+        """
+        try:
+            return self._per_rank[label]
+        except KeyError:
+            known = ", ".join(repr(x) for x in self._label_order) or "<none>"
+            raise KeyError(
+                f"no snapshot recorded under label {label!r}; "
+                f"known labels: {known}"
+            ) from None
+
     def depth(self, label: str) -> int:
         """How many snapshots exist under ``label`` (min across ranks)."""
-        ranks = self._per_rank[label]
+        ranks = self._ranks(label)
         return min(len(v) for v in ranks.values())
 
     def snapshot(self, label: str, num_nodes: int, index: int = 0) -> list:
         """The ``index``-th snapshot under ``label`` as a rank-ordered list."""
-        ranks = self._per_rank[label]
+        ranks = self._ranks(label)
         out = []
         for r in range(num_nodes):
             if r not in ranks or index >= len(ranks[r]):

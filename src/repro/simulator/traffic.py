@@ -26,7 +26,21 @@ Router = Callable[[int, int], Sequence[int]]
 
 @dataclass(frozen=True)
 class TrafficStats:
-    """Aggregate results of one traffic batch."""
+    """Aggregate results of one traffic batch.
+
+    Two hop totals are reported because they answer different questions:
+
+    * ``path_hops`` — *logical* hops: the summed router path lengths,
+      independent of any fault plan.  Path-quality metrics
+      (:attr:`avg_hops`) derive from this.
+    * ``total_hops`` — *physical* link crossings, including every
+      retransmitted attempt (``total_hops = path_hops +
+      retransmissions``).  Link-load metrics (:attr:`load_imbalance`,
+      ``max_link_load``, ``mean_link_load``) derive from this, since a
+      failed attempt still occupies the link.
+
+    Without a fault plan the two coincide.
+    """
 
     topology: str
     num_pairs: int
@@ -36,15 +50,31 @@ class TrafficStats:
     loaded_links: int
     num_links: int
     retransmissions: int = 0
+    path_hops: int = -1  # -1 sentinel: default to total_hops (fault-free)
+
+    def __post_init__(self):
+        if self.path_hops < 0:
+            object.__setattr__(self, "path_hops", self.total_hops)
 
     @property
     def avg_hops(self) -> float:
-        """Mean path length over the batch."""
-        return self.total_hops / self.num_pairs if self.num_pairs else 0.0
+        """Mean *logical* path length over the batch.
+
+        Uses ``path_hops``, not ``total_hops``: retransmissions re-cross a
+        link but never lengthen the route, so a lossy run must report the
+        same average path length as the fault-free run over the same pairs.
+        """
+        return self.path_hops / self.num_pairs if self.num_pairs else 0.0
 
     @property
     def load_imbalance(self) -> float:
-        """Max link load over the mean across *all* links (1.0 = perfectly flat)."""
+        """Max link load over the mean across *all* links (1.0 = perfectly flat).
+
+        Note the denominator differs from ``mean_link_load``, which averages
+        over *loaded* links only; this property normalizes over every link
+        in the topology so an idle link drags the mean down.  Both sides of
+        the ratio count physical crossings (retransmissions included).
+        """
         overall_mean = self.total_hops / self.num_links if self.num_links else 0.0
         return self.max_link_load / overall_mean if overall_mean else 0.0
 
@@ -114,11 +144,13 @@ def run_traffic(
     With a ``fault_plan``, each hop crossing is subject to the plan's
     deterministic drop schedule (keyed by a global attempt counter, so a
     given plan reproduces the same retransmissions bit-for-bit); a dropped
-    crossing is retransmitted — the failed attempt still loads the link —
-    bounded per hop by the plan's ``max_retries``.
+    crossing is retransmitted — the failed attempt still loads the link
+    and counts toward ``total_hops`` but not ``path_hops`` — bounded per
+    hop by the plan's ``max_retries``.
     """
     load: Counter = Counter()
     total_hops = 0
+    path_hops = 0
     retransmissions = 0
     attempt = 0  # global attempt index: the "cycle" key for drop verdicts
     router_name = getattr(router, "__name__", repr(router))
@@ -139,6 +171,7 @@ def run_traffic(
                     f"router used non-edge ({a}, {b}) on {topo.name}"
                 )
             link = (min(a, b), max(a, b))
+            path_hops += 1
             tries = 0
             while True:
                 attempt += 1
@@ -162,6 +195,7 @@ def run_traffic(
         loaded_links=len(load),
         num_links=num_links,
         retransmissions=retransmissions,
+        path_hops=path_hops,
     )
 
 

@@ -66,9 +66,15 @@ def _sweep(topo: Topology, chunk: int = 512) -> tuple[int, float]:
 
     Average distance is over ordered pairs of *distinct* nodes.  Raises if
     the graph is disconnected.
+
+    A single-node topology has no distinct pairs: its diameter is 0 and
+    the average distance is 0.0 by convention (the ``n * (n - 1)``
+    denominator would otherwise divide by zero).
     """
     adj = adjacency_csr(topo)
     n = topo.num_nodes
+    if n <= 1:
+        return 0, 0.0
     ecc_max = 0
     total = 0.0
     for lo in range(0, n, chunk):

@@ -2,8 +2,9 @@
 
 The paper's figures are drawings; this package regenerates them as
 terminal art: cluster diagrams with three-field address labels (Figs.
-1-2), adjacency matrices, route overlays, and per-step key grids for the
-sorting walkthrough (Figs. 5-6).
+1-2), adjacency matrices, route overlays, per-step key grids for the
+sorting walkthrough (Figs. 5-6), and link-utilization heatmaps of
+recorded timelines (``repro timeline``).
 """
 
 from repro.viz.ascii_art import (
@@ -11,6 +12,7 @@ from repro.viz.ascii_art import (
     render_clusters,
     render_route,
     render_key_grid,
+    render_timeline_heatmap,
 )
 
 __all__ = [
@@ -18,4 +20,5 @@ __all__ = [
     "render_clusters",
     "render_route",
     "render_key_grid",
+    "render_timeline_heatmap",
 ]

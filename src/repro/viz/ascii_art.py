@@ -12,6 +12,7 @@ __all__ = [
     "render_clusters",
     "render_route",
     "render_key_grid",
+    "render_timeline_heatmap",
 ]
 
 
@@ -73,6 +74,75 @@ def render_route(dc: DualCube, path: Sequence[int]) -> str:
             f"node {dc.node_id(u)})"
             + (f"   <- {tag}" if tag else "")
         )
+    return "\n".join(lines)
+
+
+#: Load character ramp: index 0 is "idle", the last is "max load".
+_HEAT_RAMP = " .:-=+*#%@"
+
+#: Fault markers in severity order (a crash outranks a timeout outranks a drop).
+_FAULT_MARKS = (("crashes", "C"), ("timeouts", "T"), ("drops", "D"))
+
+
+def render_timeline_heatmap(
+    recorder, *, max_links: int = 64, ramp: str = _HEAT_RAMP
+) -> str:
+    """Link-utilization heatmap of a recorded run (rows=links, cols=cycles).
+
+    ``recorder`` is a :class:`~repro.obs.timeline.TimelineRecorder` (any
+    object with ``link_utilization``/``cycle_aggregates``/``num_cycles``
+    works).  Each cell maps the link's message count that cycle onto
+    ``ramp`` (space = idle, last character = the run's peak per-cell
+    load).  When the run recorded faults, a ``faults`` row marks each
+    cycle with the most severe fault kind that struck it (``C`` = crash,
+    ``T`` = timeout, ``D`` = drop).
+    """
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least 2 characters (idle + loaded)")
+    cycles = recorder.num_cycles
+    links, grid = recorder.link_utilization()
+    if not links or not cycles:
+        return "timeline: no link events recorded"
+    if len(links) > max_links:
+        raise ValueError(
+            f"timeline covers {len(links)} links; heatmap capped at {max_links}"
+        )
+    peak = max(max(row) for row in grid)
+    labels = [f"{u}-{v}" for u, v in links]
+    width = max(len(s) for s in labels)
+
+    def cell(load: int) -> str:
+        if load <= 0:
+            return ramp[0]
+        # Loads 1..peak map onto ramp[1:] top-anchored: the peak always
+        # lands on the last character.
+        k = 1 + (load - 1) * (len(ramp) - 2) // max(1, peak - 1) if peak > 1 else 1
+        return ramp[min(k, len(ramp) - 1)]
+
+    lines = [f"link utilization over {cycles} cycles (peak {peak} msg/cell):"]
+    # Cycle ruler: a tens row when wide, then the ones digits.
+    pad = " " * (width + 2)
+    if cycles > 9:
+        lines.append(
+            pad + "".join(str((c // 10) % 10) if c % 10 == 0 else " "
+                          for c in range(1, cycles + 1))
+        )
+    lines.append(pad + "".join(str(c % 10) for c in range(1, cycles + 1)))
+    for label, row in zip(labels, grid):
+        lines.append(f"{label.rjust(width)}  " + "".join(cell(x) for x in row))
+    aggs = recorder.cycle_aggregates()
+    if any(a.faults for a in aggs):
+        marks = []
+        for a in aggs:
+            mark = " "
+            for attr, ch in _FAULT_MARKS:
+                if getattr(a, attr):
+                    mark = ch
+                    break
+            marks.append(mark)
+        lines.append(f"{'faults'.rjust(width)}  " + "".join(marks))
+        lines.append("  (C=crash, T=timeout, D=drop)")
+    lines.append(f"  scale: '{ramp[0]}'=0 ... '{ramp[-1]}'={peak}")
     return "\n".join(lines)
 
 

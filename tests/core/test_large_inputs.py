@@ -39,6 +39,20 @@ class TestLargePrefix:
             acc = acc + v
             assert got[k] == acc
 
+    def test_object_payloads_preserved_without_coercion(self):
+        """Pins the behaviour the removed ``astype(object)`` branch guarded:
+        a copy of an object-dtype input is already object dtype, results
+        stay tuples, and the caller's array is never mutated."""
+        dc = DualCube(2)
+        vals = np.empty(2 * 8, dtype=object)
+        vals[:] = [(k,) for k in range(16)]
+        before = list(vals)
+        got = large_prefix(dc, vals, CONCAT)
+        assert got.dtype == object
+        assert got[-1] == tuple(range(16))
+        assert all(isinstance(v, tuple) for v in got)
+        assert list(vals) == before
+
     @pytest.mark.parametrize("b", [1, 4, 16])
     def test_network_steps_independent_of_block_size(self, b, rng):
         dc = DualCube(3)

@@ -49,13 +49,14 @@ class TestRunBench:
             ("fault_sort", "degraded-node"),
             ("fault_sort", "degraded-link"),
             ("fault_sort", "retry-drop"),
+            ("fault_traffic", "router"),
         }
 
     def test_faults_only_runs_just_the_fault_family(self):
         payload = run_bench(smoke=True, max_n=2, faults_only=True)
         assert payload["suite"] == "faults"
         benches = {r["bench"] for r in payload["records"]}
-        assert benches == {"fault_prefix", "fault_sort"}
+        assert benches == {"fault_prefix", "fault_sort", "fault_traffic"}
         drops = {r["backend"]: r["messages_dropped"] for r in payload["records"]}
         assert drops["retry-drop"] > 0 or any(
             r["messages_dropped"] > 0 for r in payload["records"]
@@ -77,6 +78,23 @@ class TestRunBench:
             eng = by_key[(bench, "engine")]
             vec = by_key[(bench, "vectorized")]
             assert eng["comm_steps"] == vec["comm_steps"]
+
+    def test_fault_traffic_hop_ledgers_reconcile(self, smoke_payload):
+        by_key = {(r["bench"], r["backend"]): r for r in smoke_payload["records"]}
+        r = by_key[("fault_traffic", "router")]
+        # messages = physical crossings, payload_items = logical hops.
+        assert r["retries"] > 0
+        assert r["messages"] == r["payload_items"] + r["retries"]
+
+    def test_vectorized_records_carry_phase_timings(self, smoke_payload):
+        by_key = {(r["bench"], r["backend"]): r for r in smoke_payload["records"]}
+        phases = by_key[("large_prefix_b8", "vectorized")]["phases"]
+        assert set(phases) == {"local-prefix", "network", "fold"}
+        assert all(v >= 0 for v in phases.values())
+        assert by_key[("large_sort_b8", "vectorized")]["phases"]
+        assert by_key[("dual_sort", "vectorized")]["phases"]
+        # Engine benchmarks have no profiler hook; their dict stays empty.
+        assert by_key[("dual_sort", "engine")]["phases"] == {}
 
     def test_max_n_validated(self):
         with pytest.raises(ValueError, match="max_n"):
@@ -107,6 +125,20 @@ class TestWriteLoad:
         path.write_text(json.dumps({"schema": 999, "records": []}))
         with pytest.raises(ValueError, match="schema"):
             load_bench(path)
+
+    def test_schema_v1_baselines_still_load_and_compare(
+        self, smoke_payload, tmp_path
+    ):
+        """Files written before the ``phases`` field (schema 1) stay usable
+        as ``--compare`` baselines; added keys are ignored."""
+        old = copy.deepcopy(smoke_payload)
+        old["schema"] = 1
+        for r in old["records"]:
+            del r["phases"]
+        path = write_bench(old, tmp_path / "v1.json")
+        loaded = load_bench(path)
+        assert loaded["schema"] == 1
+        assert compare_bench(smoke_payload, loaded) == []
 
 
 class TestCompareBench:

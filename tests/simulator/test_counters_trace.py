@@ -203,6 +203,24 @@ class TestTraceRecorder:
         with pytest.raises(KeyError):
             TraceRecorder().snapshot("missing", 1)
 
+    def test_unknown_label_lists_known_labels(self):
+        """Regression: a bare ``KeyError: 'label'`` said nothing about what
+        *was* recorded; the message now enumerates the known labels."""
+        t = TraceRecorder()
+        t.record_array("input", [1, 2])
+        t.record_array("output", [3, 4])
+        for call in (
+            lambda: t.snapshot("step 1", 2),
+            lambda: t.depth("step 1"),
+            lambda: t.series("step 1", 2),
+        ):
+            with pytest.raises(KeyError, match="'input', 'output'"):
+                call()
+
+    def test_unknown_label_on_empty_recorder_says_none(self):
+        with pytest.raises(KeyError, match="<none>"):
+            TraceRecorder().depth("x")
+
     def test_record_array_validates_length(self):
         t = TraceRecorder(num_nodes=4)
         with pytest.raises(ValueError, match="expects exactly 4"):

@@ -298,6 +298,26 @@ class TestTrafficFaults:
         assert clean.retransmissions == 0
         assert a.total_hops == clean.total_hops + a.retransmissions
 
+    def test_path_hops_exclude_retransmitted_attempts(self):
+        """Regression: avg_hops used to inflate under a drop plan because
+        retransmitted attempts were folded into the only hop total."""
+        from repro.routing.dualcube_routing import route
+        from repro.simulator.traffic import run_traffic
+        dc = DualCube(2)
+        pairs = [(0, 5), (3, 6), (1, 4)]
+        plan = FaultPlan(drop_rate=0.3, seed=13, max_retries=50)
+        a = run_traffic(dc, lambda u, v: route(dc, u, v), pairs, fault_plan=plan)
+        clean = run_traffic(dc, lambda u, v: route(dc, u, v), pairs)
+        # Logical hops: fault-independent, so a lossy run reports the same
+        # path metrics as the clean run over the same pairs.
+        assert a.path_hops == clean.path_hops == clean.total_hops
+        assert a.avg_hops == clean.avg_hops
+        # Physical hops: attempts included, and the two ledgers reconcile.
+        assert a.total_hops == a.path_hops + a.retransmissions
+        # Link-load metrics keep counting physical crossings.
+        assert a.max_link_load >= clean.max_link_load
+        assert a.load_imbalance > 0
+
     def test_certain_drop_exhausts_hop_retries(self):
         from repro.simulator.traffic import run_traffic
         dc = DualCube(1)

@@ -213,3 +213,77 @@ class TestVizIntegration:
         from repro.cli import main
 
         assert main(["report", "--dir", str(tmp_path / "none")]) == 1
+
+
+class TestTimelineHeatmap:
+    def _recorded(self):
+        from repro.obs import TimelineRecorder
+
+        t = TimelineRecorder(num_nodes=4)
+        t.record_message(1, 0, 1)
+        t.record_message(1, 1, 0)
+        t.record_message(2, 2, 3)
+        t.record_fault(3, "drop", rank=0, src=0, dst=1)
+        t.set_cycles(4)
+        return t
+
+    def test_rows_links_cols_cycles(self):
+        from repro.viz import render_timeline_heatmap
+
+        out = render_timeline_heatmap(self._recorded())
+        lines = out.splitlines()
+        assert "over 4 cycles" in lines[0]
+        row01 = next(l for l in lines if l.lstrip().startswith("0-1"))
+        row23 = next(l for l in lines if l.lstrip().startswith("2-3"))
+        # 4 columns after the label: loaded cycle 1, idle 2-4 for link 0-1.
+        assert row01.split()[-1] == "@"
+        assert row23.split()[-1] == "."
+
+    def test_fault_row_marks_cycle(self):
+        from repro.viz import render_timeline_heatmap
+
+        out = render_timeline_heatmap(self._recorded())
+        fault_row = next(
+            l for l in out.splitlines() if l.lstrip().startswith("faults")
+        )
+        assert list(fault_row.split()[-1]) == ["D"]
+        assert "C=crash" in out
+
+    def test_empty_recorder_renders_placeholder(self):
+        from repro.obs import TimelineRecorder
+        from repro.viz import render_timeline_heatmap
+
+        assert "no link events" in render_timeline_heatmap(TimelineRecorder())
+
+    def test_caps_links_and_validates_ramp(self):
+        from repro.viz import render_timeline_heatmap
+
+        with pytest.raises(ValueError, match="capped"):
+            render_timeline_heatmap(self._recorded(), max_links=1)
+        with pytest.raises(ValueError, match="ramp"):
+            render_timeline_heatmap(self._recorded(), ramp="x")
+
+
+class TestTimelineCli:
+    def test_smoke_exits_zero_and_validates(self, capsys):
+        from repro.cli import main
+
+        assert main(["timeline", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "validated: timeline matches the static schedule" in out
+        assert "exporters ok" in out
+        assert "prefix on D_2" in out and "sort on RD_2" in out
+
+    def test_heatmap_and_exports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jsonl = tmp_path / "m.jsonl"
+        prom = tmp_path / "m.prom"
+        assert main([
+            "timeline", "--algo", "sort", "-n", "2",
+            "--export-jsonl", str(jsonl), "--export-prom", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "link utilization over" in out
+        assert jsonl.read_text().strip()
+        assert "# TYPE repro_messages counter" in prom.read_text()

@@ -102,3 +102,18 @@ class TestSummaries:
             assert md.max_degree == n
             assert mq.max_degree == 2 * n - 1
             assert md.diameter == mq.diameter + 1
+
+
+class TestSingleNode:
+    def test_one_node_topology_measures_cleanly(self):
+        """Regression: the all-pairs sweep divided by n*(n-1) = 0 on a
+        1-node topology (ZeroDivisionError); the convention is 0/0.0."""
+        h = Hypercube(0)
+        assert h.num_nodes == 1
+        assert diameter(h) == 0
+        assert average_distance(h) == 0.0
+        m = measure(h)
+        assert m.diameter == 0
+        assert m.average_distance == 0.0
+        assert m.cost == 0
+        assert m.num_edges == 0
