@@ -1,15 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench
+.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench bench-columnar
 
 ## check: tier-1 tests + static analysis + timeline/bench smoke runs (what CI gates on)
-check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke
+check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-## lint: repo-wide AST lint (REP001-REP005) over src/
+## lint: repo-wide AST lint (REP001-REP006) over src/
 lint:
 	$(PYTHON) -m repro lint src
 
@@ -28,6 +28,18 @@ bench-smoke:
 bench-faults-smoke:
 	$(PYTHON) -m repro bench --faults --smoke --out BENCH_faults_smoke.json
 
+## bench-columnar-smoke: columnar backend at n=9 (131072 nodes), cost counters
+## regression-gated against the committed baseline (wide wall factor — only
+## the deterministic counters are meaningful gates on shared CI machines)
+bench-columnar-smoke:
+	$(PYTHON) -m repro bench --backend columnar --smoke \
+		--out BENCH_columnar_smoke.json --compare BENCH_columnar_smoke.json \
+		--wall-factor 20
+
 ## bench: full sweep, refreshes BENCH_core.json at the repo root
 bench:
 	$(PYTHON) -m repro bench
+
+## bench-columnar: columnar sweep to D_11, merged into BENCH_core.json
+bench-columnar:
+	$(PYTHON) -m repro bench --backend columnar

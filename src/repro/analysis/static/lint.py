@@ -15,6 +15,12 @@ public surface:
   the CLI's and the viz layer's job (``cli.py`` and ``viz/`` are exempt).
 * **REP005 missing-__all__** — a module defining public functions or
   classes must declare ``__all__`` so the public surface is explicit.
+* **REP006 per-rank-loop** — in files marked ``# repro:
+  columnar-hot-path``, a ``for`` loop (or comprehension) iterating over
+  per-rank collections (``range(num_nodes)``, ``all_nodes_array()``,
+  ``nodes()``, ...) defeats the backend's whole point; vectorize over
+  ranks instead.  Loops over rounds, schedule steps or block slots are
+  fine — only rank-indexed iteration is flagged.
 
 Suppress a finding in place with ``# noqa`` (all rules) or
 ``# noqa: REP001,REP004`` (specific rules).  ``repro lint`` runs
@@ -42,6 +48,7 @@ LINT_RULES = {
     "REP003": "bare except: swallows KeyboardInterrupt and simulator errors",
     "REP004": "print() in library code (only cli.py and viz/ may print)",
     "REP005": "module defines public names but declares no __all__",
+    "REP006": "per-rank Python loop in a columnar-hot-path file",
 }
 
 # Directory names never descended into by lint_paths.
@@ -70,6 +77,22 @@ _RNG_SEEDED_CTORS = {
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.I)
+
+# Files opting into REP006 carry this marker (anywhere in the source —
+# the convention is the module docstring's second line).
+_HOT_PATH_RE = re.compile(r"#\s*repro:\s*columnar-hot-path")
+
+# Identifiers that mean "one element per rank" when they appear in the
+# iterable expression of a loop.  ``range(m)`` / ``enumerate(schedule)`` /
+# ``range(1, b)`` never mention these, so round/step/block loops pass.
+_PER_RANK_NAMES = {
+    "num_nodes",
+    "nodes",
+    "all_nodes_array",
+    "ranks",
+    "node_ids",
+    "arange",
+}
 
 
 @dataclass(frozen=True)
@@ -186,6 +209,41 @@ def _missing_all(tree: ast.Module, path: str) -> bool:
     return has_public
 
 
+def _iter_idents(node: ast.expr):
+    """All Name ids and Attribute attrs mentioned in an expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _per_rank_loops(tree: ast.Module) -> list[tuple[int, str, str]]:
+    """REP006 findings: loops whose iterable is a per-rank collection."""
+    iters: list[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+    out = []
+    for it in iters:
+        hits = sorted(set(_iter_idents(it)) & _PER_RANK_NAMES)
+        if hits:
+            out.append(
+                (
+                    it.lineno,
+                    "REP006",
+                    f"per-rank Python loop (iterates over {', '.join(hits)}) "
+                    f"in a columnar-hot-path file; vectorize over ranks "
+                    f"instead",
+                )
+            )
+    return out
+
+
 def _print_exempt(path: str) -> bool:
     parts = path.replace("\\", "/").split("/")
     return os.path.basename(path) == "cli.py" or "viz" in parts
@@ -231,6 +289,9 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
                 "module defines public functions/classes but no __all__",
             )
         )
+
+    if _HOT_PATH_RE.search(source):
+        raw.extend(_per_rank_loops(tree))
 
     out: list[LintViolation] = []
     for line, code, message in sorted(raw):

@@ -199,20 +199,35 @@ def _cmd_collectives(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from pathlib import Path
+
     from repro.perf.bench import (
         compare_bench,
         load_bench,
+        merge_bench,
         run_bench,
+        run_bench_columnar,
         write_bench,
     )
 
-    payload = run_bench(
-        max_n=args.max_n,
-        repeats=args.repeats,
-        smoke=args.smoke,
-        seed=args.seed,
-        faults_only=args.faults,
-    )
+    if args.backend == "columnar":
+        if args.faults:
+            print("--faults is the core suite only (engine-backed scenarios)")
+            return 2
+        payload = run_bench_columnar(
+            max_n=args.max_n if args.max_n is not None else 11,
+            repeats=args.repeats,
+            smoke=args.smoke,
+            seed=args.seed,
+        )
+    else:
+        payload = run_bench(
+            max_n=args.max_n if args.max_n is not None else 5,
+            repeats=args.repeats,
+            smoke=args.smoke,
+            seed=args.seed,
+            faults_only=args.faults,
+        )
     rows = [
         (
             r["bench"],
@@ -225,26 +240,46 @@ def _cmd_bench(args) -> int:
             r["messages"],
             r["max_message_payload"],
             r.get("messages_dropped", 0),
+            f"{r.get('peak_mem_mb', 0.0):.1f}",
         )
         for r in payload["records"]
     ]
     print(
         format_table(
-            ["bench", "backend", "n", "nodes", "wall ms", "comm", "comp", "msgs", "peak payload", "drops"],
+            ["bench", "backend", "n", "nodes", "wall ms", "comm", "comp", "msgs", "peak payload", "drops", "peak MB"],
             rows,
             title="repro bench" + (" (smoke)" if args.smoke else ""),
         )
     )
-    if args.faults:
+    if args.backend == "columnar":
+        default_out = (
+            "BENCH_columnar_smoke.json" if args.smoke else "BENCH_core.json"
+        )
+    elif args.faults:
         default_out = "BENCH_faults_smoke.json" if args.smoke else "BENCH_faults.json"
     else:
         default_out = "BENCH_smoke.json" if args.smoke else "BENCH_core.json"
     out = args.out or default_out
+
+    # Load the comparison baseline *before* writing: --compare pointed at
+    # the output path itself (the usual CI idiom) must gate against the
+    # committed baseline, not the file this run just overwrote.  A missing
+    # baseline is a first run, not a regression.
+    previous = None
+    if args.compare:
+        if Path(args.compare).exists():
+            previous = load_bench(args.compare)
+        else:
+            print(f"no baseline at {args.compare}; recording a fresh one")
+
+    if args.backend == "columnar" and not args.smoke and Path(out).exists():
+        # A full columnar sweep lands next to the core suite's records
+        # instead of clobbering them.
+        payload = merge_bench(load_bench(out), payload)
     path = write_bench(payload, out)
     print(f"wrote {path} ({len(payload['records'])} records)")
 
-    if args.compare:
-        previous = load_bench(args.compare)
+    if previous is not None:
         problems = compare_bench(
             payload, previous, wall_factor=args.wall_factor
         )
@@ -481,10 +516,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser(
         "bench", help="timed core benchmarks -> BENCH_core.json (+ regression check)"
     )
-    sp.add_argument("--max-n", type=int, default=5, help="largest dual-cube n (from 2)")
+    sp.add_argument(
+        "--max-n", type=int, default=None,
+        help="largest dual-cube n, from 2 (default: 5 core, 11 columnar)",
+    )
     sp.add_argument("--repeats", type=int, default=3, help="wallclock best-of repeats")
     sp.add_argument(
-        "--smoke", action="store_true", help="quick wiring check (n<=3, 1 repeat)"
+        "--backend", choices=["core", "columnar"], default="core",
+        help="core = vectorized+engine suite; columnar = structured-array "
+             "backend sweep to D_11 (merged into BENCH_core.json)",
+    )
+    sp.add_argument(
+        "--smoke", action="store_true",
+        help="quick wiring check (core: n<=3, 1 repeat; columnar: n=9 only)",
     )
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument(
@@ -526,7 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.set_defaults(fn=_cmd_timeline)
 
-    sp = sub.add_parser("lint", help="repo lint (REP001-REP005, stdlib ast)")
+    sp = sub.add_parser("lint", help="repo lint (REP001-REP006, stdlib ast)")
     sp.add_argument(
         "paths", nargs="*",
         help="files/directories to lint (default: src)",

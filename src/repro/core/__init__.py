@@ -22,6 +22,7 @@ from repro.core.ops import (
     CONCAT,
     MATMUL2,
     combine_arrays,
+    combine_into,
 )
 from repro.core.arrangement import (
     arranged_index,
@@ -57,6 +58,13 @@ from repro.core.dual_sort import (
     ScheduleStep,
 )
 from repro.core.large_inputs import large_prefix, large_prefix_engine, large_sort
+from repro.core.columnar import (
+    dual_prefix_columnar,
+    execute_schedule_columnar,
+    dual_sort_columnar,
+    large_prefix_columnar,
+    large_sort_columnar,
+)
 from repro.core.emulation import (
     emulated_cube_prefix,
     emulated_cube_prefix_vec,
@@ -98,6 +106,7 @@ __all__ = [
     "CONCAT",
     "MATMUL2",
     "combine_arrays",
+    "combine_into",
     "arranged_index",
     "arranged_index_v",
     "arrange",
@@ -124,6 +133,11 @@ __all__ = [
     "large_prefix",
     "large_prefix_engine",
     "large_sort",
+    "dual_prefix_columnar",
+    "execute_schedule_columnar",
+    "dual_sort_columnar",
+    "large_prefix_columnar",
+    "large_sort_columnar",
     "emulated_cube_prefix",
     "emulated_cube_prefix_vec",
     "exchange_algorithm_program",

@@ -256,9 +256,29 @@ def dual_prefix(
 ):
     """Parallel prefix on the dual-cube — the library's headline entry point.
 
-    ``backend`` selects ``"vectorized"`` (fast; returns the prefix array)
-    or ``"engine"`` (cycle-accurate; returns ``(prefixes, EngineResult)``).
+    ``backend`` selects ``"vectorized"`` (fast; returns the prefix array),
+    ``"columnar"`` (structured-array state, in-place view combines — the
+    only backend that reaches D_9-D_11; returns the prefix array), or
+    ``"engine"`` (cycle-accurate; returns ``(prefixes, EngineResult)``).
+    The columnar backend has no per-rank value trace; pass ``trace`` only
+    to the other two.
     """
+    if backend == "columnar":
+        if trace is not None:
+            raise ValueError(
+                "the columnar backend keeps no per-rank values to trace; "
+                "use backend='vectorized' or 'engine' with trace"
+            )
+        from repro.core.columnar import dual_prefix_columnar
+
+        return dual_prefix_columnar(
+            dc,
+            values,
+            op,
+            inclusive=inclusive,
+            paper_literal=paper_literal,
+            counters=counters,
+        )
     if backend == "vectorized":
         return dual_prefix_vec(
             dc,
@@ -278,7 +298,9 @@ def dual_prefix(
             paper_literal=paper_literal,
             trace=trace,
         )
-    raise ValueError(f"unknown backend {backend!r}; use 'vectorized' or 'engine'")
+    raise ValueError(
+        f"unknown backend {backend!r}; use 'vectorized', 'columnar' or 'engine'"
+    )
 
 
 def dual_suffix_vec(

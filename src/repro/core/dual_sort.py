@@ -386,11 +386,34 @@ def dual_sort(
 ):
     """Sorting on the dual-cube — the library's headline entry point.
 
-    ``backend`` selects ``"vectorized"`` (fast; returns the sorted array)
+    ``backend`` selects ``"vectorized"`` (fast; returns the sorted array),
+    ``"columnar"`` (structured-array state, in-place view compare-exchange
+    — the only backend that reaches D_9-D_11; returns the sorted array),
     or ``"engine"`` (cycle-accurate; returns ``(keys, EngineResult)``).
     ``profiler`` records per-:class:`ScheduleStep` wallclock spans
-    (vectorized backend only).
+    (vectorized backend only); the columnar backend keeps no per-rank
+    values to ``trace``.
     """
+    if backend == "columnar":
+        if trace is not None:
+            raise ValueError(
+                "the columnar backend keeps no per-rank values to trace; "
+                "use backend='vectorized' or 'engine' with trace"
+            )
+        if profiler is not None:
+            raise ValueError(
+                "per-step profiling is vectorized-backend only; "
+                "use backend='vectorized' with profiler"
+            )
+        from repro.core.columnar import dual_sort_columnar
+
+        return dual_sort_columnar(
+            rdc,
+            keys,
+            descending=descending,
+            payload_policy=payload_policy,
+            counters=counters,
+        )
     if backend == "vectorized":
         return dual_sort_vec(
             rdc,
@@ -409,4 +432,6 @@ def dual_sort(
             payload_policy=payload_policy,
             trace=trace,
         )
-    raise ValueError(f"unknown backend {backend!r}; use 'vectorized' or 'engine'")
+    raise ValueError(
+        f"unknown backend {backend!r}; use 'vectorized', 'columnar' or 'engine'"
+    )

@@ -41,13 +41,25 @@ __all__ = ["large_prefix", "large_prefix_engine", "large_sort"]
 def _blocked(values, num_nodes: int) -> tuple[np.ndarray, int]:
     """Reshape a flat input into (num_nodes, B) consecutive blocks."""
     arr = np.asarray(values)
-    if arr.ndim != 1 or len(arr) == 0 or len(arr) % num_nodes:
+    if arr.ndim != 1:
+        raise ValueError(f"expected a flat 1-D input, got shape {arr.shape}")
+    if len(arr) == 0 or len(arr) % num_nodes:
         raise ValueError(
-            f"input length {arr.shape} must be a positive multiple of the "
+            f"input length {len(arr)} must be a positive multiple of the "
             f"network size {num_nodes}"
         )
     b = len(arr) // num_nodes
     return arr.reshape(num_nodes, b), b
+
+
+def _local_sort_ops(b: int) -> int:
+    """Charged cost of one local B-key sort: B * ceil(log2 B) comparisons.
+
+    ``(b - 1).bit_length()`` is ceil(log2 b) for b >= 1 (0 for b = 1,
+    clamped to one comparison below); ``b.bit_length() - 1`` would be
+    *floor*(log2 b), undercharging every non-power-of-two block size.
+    """
+    return max(1, b * max(1, (b - 1).bit_length()))
 
 
 def large_prefix(
@@ -55,6 +67,7 @@ def large_prefix(
     values,
     op: AssocOp,
     *,
+    backend: str = "vectorized",
     counters: CostCounters | None = None,
     profiler=None,
 ) -> np.ndarray:
@@ -63,12 +76,26 @@ def large_prefix(
     Global index order: node block k (input order) covers indices
     ``[kB, (k+1)B)``.  Communication cost equals plain `D_prefix`.
 
-    ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`) records
-    wallclock spans for the three phases the cost model distinguishes:
-    ``local-prefix`` (B-1 local rounds), ``network`` (the diminished
-    `D_prefix` on block totals — the only communicating phase), and
-    ``fold`` (B offset applications).
+    ``backend`` selects ``"vectorized"`` or ``"columnar"`` (identical
+    results and counters; the columnar path holds blocks as structured
+    subarray fields and scales to D_9-D_11).  ``profiler`` (a
+    :class:`~repro.obs.profile.PhaseProfiler`) records wallclock spans
+    for the three phases the cost model distinguishes: ``local-prefix``
+    (B-1 local rounds), ``network`` (the diminished `D_prefix` on block
+    totals — the only communicating phase), and ``fold`` (B offset
+    applications).
     """
+    if backend == "columnar":
+        from repro.core.columnar import large_prefix_columnar
+
+        return large_prefix_columnar(
+            dc, values, op, counters=counters, profiler=profiler
+        )
+    if backend != "vectorized":
+        raise ValueError(
+            f"unknown backend {backend!r}; use 'vectorized' or 'columnar' "
+            f"(large_prefix_engine is the cycle-accurate entry point)"
+        )
     blocks, b = _blocked(values, dc.num_nodes)
     prof = profiler if profiler is not None else _NULL_PROFILER
 
@@ -177,6 +204,7 @@ def large_sort(
     keys,
     *,
     descending: bool = False,
+    backend: str = "vectorized",
     payload_policy: str = "packed",
     counters: CostCounters | None = None,
     profiler=None,
@@ -186,10 +214,28 @@ def large_sort(
     Keys are indexed by (recursive node address, block offset); the output
     is the globally sorted flat sequence in that same blocked order.
 
-    ``profiler`` records one wallclock span per merge-split round, named
-    by the round's recursion segment (``step.phase``), plus a
-    ``local-sort`` span for the initial per-block sort.
+    ``backend`` selects ``"vectorized"`` or ``"columnar"`` (identical
+    results and counters; the columnar path merge-splits through reshape
+    views and scales to D_9-D_11).  ``profiler`` records one wallclock
+    span per merge-split round, named by the round's recursion segment
+    (``step.phase``), plus a ``local-sort`` span for the initial
+    per-block sort.
     """
+    if backend == "columnar":
+        from repro.core.columnar import large_sort_columnar
+
+        return large_sort_columnar(
+            rdc,
+            keys,
+            descending=descending,
+            payload_policy=payload_policy,
+            counters=counters,
+            profiler=profiler,
+        )
+    if backend != "vectorized":
+        raise ValueError(
+            f"unknown backend {backend!r}; use 'vectorized' or 'columnar'"
+        )
     if payload_policy not in ("packed", "single"):
         raise ValueError(
             f"payload_policy must be 'packed' or 'single', got {payload_policy!r}"
@@ -202,7 +248,7 @@ def large_sort(
         arr = np.sort(blocks, axis=1)
         if counters is not None:
             # Local sort: ~B log2 B comparisons per node, one local round.
-            counters.record_comp_step(ops_each=max(1, b * max(1, b.bit_length() - 1)))
+            counters.record_comp_step(ops_each=_local_sort_ops(b))
 
     idx = np.arange(rdc.num_nodes, dtype=np.int64)
     for k, step in enumerate(dual_sort_schedule(rdc.n, descending=descending)):

@@ -25,6 +25,7 @@ __all__ = [
     "CONCAT",
     "MATMUL2",
     "combine_arrays",
+    "combine_into",
 ]
 
 
@@ -89,6 +90,36 @@ def combine_arrays(op: AssocOp, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return op.ufunc(a, b)
     out = np.empty(len(a), dtype=object)
     out[:] = [op.fn(x, y) for x, y in zip(a, b)]
+    return out
+
+
+def combine_into(
+    op: AssocOp, a: np.ndarray, b: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Elementwise ``out[k] = a[k] ⊕ b[k]`` written in place into ``out``.
+
+    The columnar backend's combine primitive: ``out`` may alias ``a`` or
+    ``b`` exactly (same shape and strides) — each element is read before
+    its slot is written, so in-place folds like ``s ⊕= got`` need no
+    temporary.  Arrays may be multi-dimensional (pair views).  Uses the
+    ufunc when available and non-object; otherwise an ``nditer`` loop
+    over object elements, preserving operand order.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if (
+        op.ufunc is not None
+        and a.dtype != object
+        and b.dtype != object
+        and out.dtype != object
+    ):
+        op.ufunc(a, b, out=out)
+        return out
+    fn = op.fn
+    # Scalar element assignment (out[idx] = obj) stores arbitrary objects
+    # verbatim; nditer 0-d views would try to broadcast tuple values.
+    for idx in np.ndindex(a.shape):
+        out[idx] = fn(a[idx], b[idx])
     return out
 
 

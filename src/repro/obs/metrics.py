@@ -48,9 +48,15 @@ def _check_name(name: str) -> str:
 
 
 def _fmt_value(v: float) -> str:
-    """Prometheus-style number: integers bare, floats as repr, inf as +Inf."""
+    """Prometheus-style number: integers bare, floats as repr, and the
+    spec's special values ``+Inf``/``-Inf``/``NaN`` (Python's ``str``
+    would render ``inf``/``-inf``/``nan``, which parsers reject)."""
     if v == math.inf:
         return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    if isinstance(v, float) and math.isnan(v):
+        return "NaN"
     if isinstance(v, float) and v.is_integer():
         return str(int(v))
     return str(v)
@@ -133,6 +139,15 @@ class Histogram(_Metric):
             raise ValueError(
                 f"histogram buckets must be distinct and increasing, got {bounds}"
             )
+        if bounds[-1] == math.inf:
+            # The +Inf bucket is implicit (cumulative() always appends it
+            # equal to _count); keeping an explicit one would emit the
+            # le="+Inf" sample twice, which the text format forbids.
+            bounds = bounds[:-1]
+            if not bounds:
+                raise ValueError(
+                    "histogram needs at least one finite bucket bound"
+                )
         self.bounds = bounds
         self.bucket_counts = [0] * len(bounds)  # non-cumulative per bound
         self.inf_count = 0
@@ -171,6 +186,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[tuple, _Metric] = {}
+        self._kinds: dict[str, type] = {}
 
     def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Metric:
         key = (name, tuple(sorted((labels or {}).items())))
@@ -182,8 +198,18 @@ class MetricsRegistry:
                     f"cannot re-register as {cls.kind}"
                 )
             return existing
+        # A metric *family* (one name) must have one kind across all label
+        # sets — a same-name instrument of another kind would share the
+        # family's single # TYPE header.
+        other = self._kinds.get(name)
+        if other is not None and other is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {other.kind} "
+                f"(under different labels), cannot re-register as {cls.kind}"
+            )
         metric = cls(name, help, labels, **kwargs)
         self._metrics[key] = metric
+        self._kinds[name] = cls
         return metric
 
     def counter(
@@ -235,35 +261,41 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def to_prometheus(self) -> str:
-        """Prometheus exposition text format, newline-terminated."""
-        out: list[str] = []
-        seen_headers: set[str] = set()
+        """Prometheus exposition text format, newline-terminated.
+
+        Samples are grouped by metric family (all label sets of one name
+        contiguous under a single ``# HELP``/``# TYPE`` header, families
+        in first-registration order) — the text format forbids
+        interleaving one family's samples with another's.
+        """
+        families: dict[str, list[_Metric]] = {}
         for m in self.metrics():
-            sample_name = (
-                f"{m.name}_total" if isinstance(m, Counter) else m.name
-            )
-            if m.name not in seen_headers:
-                seen_headers.add(m.name)
-                if m.help:
-                    out.append(f"# HELP {m.name} {m.help}")
-                out.append(f"# TYPE {m.name} {m.kind}")
-            if isinstance(m, Histogram):
-                for bound, cum in m.cumulative():
-                    labels = dict(m.labels)
-                    labels["le"] = _fmt_value(bound)
-                    out.append(
-                        f"{m.name}_bucket{_fmt_labels(labels)} {cum}"
-                    )
-                out.append(
-                    f"{m.name}_sum{_fmt_labels(m.labels)} {_fmt_value(m.sum)}"
-                )
-                out.append(f"{m.name}_count{_fmt_labels(m.labels)} {m.count}")
-            else:
-                out.append(
-                    f"{sample_name}{_fmt_labels(m.labels)} "
-                    f"{_fmt_value(m.value)}"
-                )
+            families.setdefault(m.name, []).append(m)
+        out: list[str] = []
+        for name, members in families.items():
+            first = members[0]
+            if first.help:
+                out.append(f"# HELP {name} {first.help}")
+            out.append(f"# TYPE {name} {first.kind}")
+            for m in members:
+                self._render_samples(m, out)
         return "\n".join(out) + ("\n" if out else "")
+
+    def _render_samples(self, m: _Metric, out: list[str]) -> None:
+        sample_name = f"{m.name}_total" if isinstance(m, Counter) else m.name
+        if isinstance(m, Histogram):
+            for bound, cum in m.cumulative():
+                labels = dict(m.labels)
+                labels["le"] = _fmt_value(bound)
+                out.append(f"{m.name}_bucket{_fmt_labels(labels)} {cum}")
+            out.append(
+                f"{m.name}_sum{_fmt_labels(m.labels)} {_fmt_value(m.sum)}"
+            )
+            out.append(f"{m.name}_count{_fmt_labels(m.labels)} {m.count}")
+        else:
+            out.append(
+                f"{sample_name}{_fmt_labels(m.labels)} {_fmt_value(m.value)}"
+            )
 
 
 # -- feeds from the existing instrumentation -----------------------------------

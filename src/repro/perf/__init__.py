@@ -13,7 +13,9 @@ from repro.perf.bench import (
     BenchRecord,
     compare_bench,
     load_bench,
+    merge_bench,
     run_bench,
+    run_bench_columnar,
     write_bench,
 )
 
@@ -21,6 +23,8 @@ __all__ = [
     "BenchRecord",
     "compare_bench",
     "load_bench",
+    "merge_bench",
     "run_bench",
+    "run_bench_columnar",
     "write_bench",
 ]

@@ -37,19 +37,22 @@ from repro.topology.recursive import RecursiveDualCube
 __all__ = [
     "BenchRecord",
     "run_bench",
+    "run_bench_columnar",
+    "merge_bench",
     "write_bench",
     "load_bench",
     "compare_bench",
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Schemas this loader still understands.  Version 2 added the per-record
-# ``phases`` dict (wallclock split per algorithm phase); version-1 files
-# simply lack it, and ``compare_bench`` only reads the exact-cost fields,
-# so old baselines keep regression-checking new runs.
-_SUPPORTED_SCHEMAS = (1, 2)
+# ``phases`` dict (wallclock split per algorithm phase); version 3 added
+# ``peak_mem_mb`` (tracemalloc peak, columnar records only).  Older files
+# simply lack the fields, and ``compare_bench`` only reads the exact-cost
+# fields, so old baselines keep regression-checking new runs.
+_SUPPORTED_SCHEMAS = (1, 2, 3)
 
 # Cost fields that must reproduce exactly between runs (they are
 # deterministic functions of the algorithm, not the machine).  The fault
@@ -88,6 +91,10 @@ class BenchRecord:
     # benchmark has no phase instrumentation).  Not regression-checked:
     # timings are machine-dependent, unlike the exact cost fields.
     phases: dict = field(default_factory=dict)
+    # Peak Python-heap allocation during one run, in MiB (schema v3;
+    # tracemalloc, recorded for columnar records only — it is the O(nodes)
+    # memory claim made observable).  Not regression-checked.
+    peak_mem_mb: float = 0.0
 
     @property
     def key(self) -> tuple[str, str, int]:
@@ -117,6 +124,7 @@ def _from_counters(
     wall: float,
     c: CostCounters,
     phases: dict | None = None,
+    peak_mem_mb: float = 0.0,
 ) -> BenchRecord:
     s = c.summary()
     return BenchRecord(
@@ -134,7 +142,25 @@ def _from_counters(
         retries=s["retries"],
         timeouts=s["timeouts"],
         phases=dict(phases or {}),
+        peak_mem_mb=peak_mem_mb,
     )
+
+
+def _peak_mem_mb(fn: Callable[[], object]) -> float:
+    """Peak Python-heap MiB over one call of ``fn`` (tracemalloc).
+
+    Run separately from the timed repeats — tracing slows allocation, so
+    folding it into the wallclock loop would taint the timings.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
 
 
 def _bench_dual_prefix(n: int, backend: str, rng, repeats: int) -> BenchRecord:
@@ -148,6 +174,14 @@ def _bench_dual_prefix(n: int, backend: str, rng, repeats: int) -> BenchRecord:
             dual_prefix_vec(dc, vals, ADD, counters=counters)
             return counters
 
+    elif backend == "columnar":
+        from repro.core.columnar import dual_prefix_columnar
+
+        def run() -> CostCounters:
+            counters = CostCounters(dc.num_nodes)
+            dual_prefix_columnar(dc, vals, ADD, counters=counters)
+            return counters
+
     else:
 
         def run() -> CostCounters:
@@ -155,7 +189,11 @@ def _bench_dual_prefix(n: int, backend: str, rng, repeats: int) -> BenchRecord:
             return result.counters
 
     wall, counters = _time_best(run, repeats)
-    return _from_counters("dual_prefix", backend, n, dc.num_nodes, wall, counters)
+    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
+    return _from_counters(
+        "dual_prefix", backend, n, dc.num_nodes, wall, counters,
+        peak_mem_mb=peak,
+    )
 
 
 def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
@@ -172,6 +210,14 @@ def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
             phase_box.update(prof.totals())
             return counters
 
+    elif backend == "columnar":
+        from repro.core.columnar import dual_sort_columnar
+
+        def run() -> CostCounters:
+            counters = CostCounters(rdc.num_nodes)
+            dual_sort_columnar(rdc, keys, counters=counters)
+            return counters
+
     else:
 
         def run() -> CostCounters:
@@ -179,12 +225,16 @@ def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
             return result.counters
 
     wall, counters = _time_best(run, repeats)
+    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
     return _from_counters(
-        "dual_sort", backend, n, rdc.num_nodes, wall, counters, phase_box
+        "dual_sort", backend, n, rdc.num_nodes, wall, counters, phase_box,
+        peak_mem_mb=peak,
     )
 
 
-def _bench_large_prefix(n: int, block: int, rng, repeats: int) -> BenchRecord:
+def _bench_large_prefix(
+    n: int, block: int, rng, repeats: int, backend: str = "vectorized"
+) -> BenchRecord:
     dc = DualCube(n)
     vals = rng.integers(0, 1000, dc.num_nodes * block)
 
@@ -193,18 +243,23 @@ def _bench_large_prefix(n: int, block: int, rng, repeats: int) -> BenchRecord:
     def run() -> CostCounters:
         counters = CostCounters(dc.num_nodes)
         prof = PhaseProfiler()
-        large_prefix(dc, vals, ADD, counters=counters, profiler=prof)
+        large_prefix(
+            dc, vals, ADD, backend=backend, counters=counters, profiler=prof
+        )
         phase_box.update(prof.totals())
         return counters
 
     wall, counters = _time_best(run, repeats)
+    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
     return _from_counters(
-        f"large_prefix_b{block}", "vectorized", n, dc.num_nodes, wall, counters,
-        phase_box,
+        f"large_prefix_b{block}", backend, n, dc.num_nodes, wall, counters,
+        phase_box, peak_mem_mb=peak,
     )
 
 
-def _bench_large_sort(n: int, block: int, rng, repeats: int) -> BenchRecord:
+def _bench_large_sort(
+    n: int, block: int, rng, repeats: int, backend: str = "vectorized"
+) -> BenchRecord:
     rdc = RecursiveDualCube(n)
     keys = rng.permutation(rdc.num_nodes * block)
 
@@ -213,14 +268,17 @@ def _bench_large_sort(n: int, block: int, rng, repeats: int) -> BenchRecord:
     def run() -> CostCounters:
         counters = CostCounters(rdc.num_nodes)
         prof = PhaseProfiler()
-        large_sort(rdc, keys, counters=counters, profiler=prof)
+        large_sort(
+            rdc, keys, backend=backend, counters=counters, profiler=prof
+        )
         phase_box.update(prof.totals())
         return counters
 
     wall, counters = _time_best(run, repeats)
+    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
     return _from_counters(
-        f"large_sort_b{block}", "vectorized", n, rdc.num_nodes, wall, counters,
-        phase_box,
+        f"large_sort_b{block}", backend, n, rdc.num_nodes, wall, counters,
+        phase_box, peak_mem_mb=peak,
     )
 
 
@@ -367,6 +425,78 @@ def run_bench(
         "seed": seed,
         "records": [asdict(r) for r in records],
     }
+
+
+def run_bench_columnar(
+    *,
+    max_n: int = 11,
+    repeats: int = 1,
+    smoke: bool = False,
+    seed: int = 0,
+    block: int = 8,
+) -> dict:
+    """Run the columnar-backend suite and return the JSON-ready payload.
+
+    The sweep covers dual_prefix and dual_sort for n = 2..``max_n``
+    (default 11 — D_11 is 2^21 nodes, seconds per run on the columnar
+    backend) plus the blocked large-input variants up to n = 9, where the
+    N = 8 * 2^17 input keeps the large benches in the same seconds range.
+    ``smoke`` runs only n = min(9, max_n), single repeat — the CI wiring
+    check behind ``make bench-columnar-smoke``.  Every record carries the
+    tracemalloc ``peak_mem_mb`` so the O(nodes) memory claim is visible in
+    the table.
+    """
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    if smoke:
+        sizes: tuple[int, ...] = (min(9, max_n),)
+        repeats = 1
+    else:
+        sizes = tuple(range(2, max_n + 1))
+
+    records: list[BenchRecord] = []
+    for n in sizes:
+        rng = np.random.default_rng(seed + n)
+        records.append(_bench_dual_prefix(n, "columnar", rng, repeats))
+        records.append(_bench_dual_sort(n, "columnar", rng, repeats))
+        if not smoke and n <= 9:
+            records.append(
+                _bench_large_prefix(n, block, rng, repeats, "columnar")
+            )
+            records.append(
+                _bench_large_sort(n, block, rng, repeats, "columnar")
+            )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "columnar",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "seed": seed,
+        "records": [asdict(r) for r in records],
+    }
+
+
+def merge_bench(base: dict, new: dict) -> dict:
+    """Merge two bench payloads into one document.
+
+    Metadata (schema, timestamps, suite) comes from ``new``; records merge
+    by (bench, backend, n) key with ``new`` winning collisions, output
+    sorted by key so the merged file is deterministic.  This is how
+    columnar sweeps land next to the core suite's rows in one
+    ``BENCH_core.json`` instead of clobbering them.
+    """
+    by_key = {
+        (r["bench"], r["backend"], r["n"]): r
+        for payload in (base, new)
+        for r in payload["records"]
+    }
+    merged = dict(new)
+    merged["records"] = [by_key[k] for k in sorted(by_key)]
+    return merged
 
 
 def write_bench(payload: dict, path: str | Path) -> Path:

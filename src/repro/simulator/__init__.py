@@ -27,6 +27,12 @@ from repro.simulator.errors import (
 )
 from repro.simulator.requests import Send, Recv, SendRecv, Shift, Idle
 from repro.simulator.counters import CostCounters, Packed
+from repro.simulator.columnar import (
+    ColumnarState,
+    bit_pair_views,
+    dir_bit_views,
+    swap_halves,
+)
 from repro.simulator.faults import FAULTED, FaultPlan
 from repro.simulator.message import Message
 from repro.simulator.node import NodeCtx
@@ -57,6 +63,10 @@ __all__ = [
     "Idle",
     "CostCounters",
     "Packed",
+    "ColumnarState",
+    "bit_pair_views",
+    "dir_bit_views",
+    "swap_halves",
     "Message",
     "NodeCtx",
     "TraceRecorder",

@@ -176,11 +176,17 @@ class CostCounters:
         ``ranks`` limits the round to a subset of nodes (array/sequence of
         rank indices); by default every node participates.  A rank listed
         k times is charged k rounds (``np.add.at`` — buffered fancy-index
-        ``+=`` would silently collapse duplicates).
+        ``+=`` would silently collapse duplicates).  A ``range`` charges
+        the contiguous slice directly, so callers over huge networks (the
+        columnar backend's class-half rounds) never materialize an index
+        array.
         """
         if ranks is None:
             self._comp_calls += 1
             self._comp_ops += ops_each
+        elif isinstance(ranks, range) and ranks.step == 1:
+            self._comp_calls[ranks.start : ranks.stop] += 1
+            self._comp_ops[ranks.start : ranks.stop] += ops_each
         else:
             idx = np.asarray(ranks, dtype=np.int64)
             np.add.at(self._comp_calls, idx, 1)

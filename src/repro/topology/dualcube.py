@@ -27,6 +27,7 @@ from repro._bits import (
     extract_field,
     extract_field_v,
     flip_bit,
+    flip_bit_v,
     hamming,
     mask,
 )
@@ -258,3 +259,58 @@ class DualCube(DimensionedTopology):
     def node_mask(self) -> int:
         """Mask of the low (n-1)-bit field."""
         return mask(self._m)
+
+    # -- arithmetic neighbor queries (columnar backend) ----------------------
+    #
+    # The columnar backend never materializes edge lists; these helpers
+    # answer every neighbor/cross-edge question it has with pure address
+    # arithmetic on whole index arrays (or, cheaper still, with slices).
+
+    def cross_partner_v(self, u=None) -> np.ndarray:
+        """Vectorized :meth:`cross_partner` (defaults to all nodes)."""
+        if u is None:
+            u = self.all_nodes_array()
+        return flip_bit_v(u, self._class_bit)
+
+    def intra_partner_v(self, u, local_dim: int) -> np.ndarray:
+        """Partner of each node along cluster-local cube dimension ``local_dim``.
+
+        Vectorized :meth:`local_to_global_dim` + flip: class-0 nodes flip
+        address bit ``local_dim``, class-1 nodes bit ``n-1+local_dim``.
+        """
+        if not 0 <= local_dim < self._m:
+            raise ValueError(
+                f"local dimension {local_dim} out of range [0, {self._m})"
+            )
+        u = np.asarray(u, dtype=np.int64)
+        step = np.where(
+            bit_v(u, self._class_bit) == 1, 1 << self._m, 1
+        ).astype(np.int64)
+        return u ^ (step << local_dim)
+
+    def local_round_bit(self, cls: int, local_dim: int) -> int:
+        """Address bit that cluster-local dimension ``local_dim`` flips in class ``cls``.
+
+        Class-uniform companion of :meth:`local_to_global_dim`: every node
+        of one class flips the same address bit at ascend round
+        ``local_dim``, which is what lets the columnar backend run a whole
+        class's round as one reshape-view combine.
+        """
+        if cls not in (0, 1):
+            raise ValueError(f"class must be 0 or 1, got {cls}")
+        if not 0 <= local_dim < self._m:
+            raise ValueError(
+                f"local dimension {local_dim} out of range [0, {self._m})"
+            )
+        return local_dim if cls == 0 else self._m + local_dim
+
+    def class_slices(self) -> tuple[slice, slice]:
+        """``(class-0, class-1)`` node-index slices.
+
+        The class bit is the *top* address bit, so each class occupies a
+        contiguous half of the index space — the property that turns the
+        cross-edge exchange into two half-array copies
+        (:func:`~repro.simulator.columnar.swap_halves`).
+        """
+        half = self.num_nodes >> 1
+        return slice(0, half), slice(half, self.num_nodes)

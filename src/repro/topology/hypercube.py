@@ -10,7 +10,9 @@ per node vs the dual-cube's n), and each dual-cube *cluster* is a
 
 from __future__ import annotations
 
-from repro._bits import flip_bit, hamming
+import numpy as np
+
+from repro._bits import flip_bit, flip_bit_v, hamming
 from repro.topology.base import DimensionedTopology
 
 __all__ = ["Hypercube"]
@@ -73,3 +75,19 @@ class Hypercube(DimensionedTopology):
     def diameter(self) -> int:
         """Closed-form diameter: q."""
         return self._q
+
+    # -- arithmetic neighbor queries (columnar backend) ----------------------
+
+    def all_nodes_array(self) -> np.ndarray:
+        """All node indices as an int64 array."""
+        return np.arange(self.num_nodes, dtype=np.int64)
+
+    def partner_v(self, u, d: int) -> np.ndarray:
+        """Vectorized :meth:`~repro.topology.base.DimensionedTopology.partner`:
+        ``u ^ (1 << d)`` over a whole index array.
+
+        Every hypercube dimension is a direct link, so this answers all
+        neighbor queries the columnar backend makes — no edge lists.
+        """
+        self.check_dimension(d)
+        return flip_bit_v(np.asarray(u, dtype=np.int64), d)

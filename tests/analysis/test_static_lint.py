@@ -147,7 +147,7 @@ class TestPaths:
 
     def test_rules_documented(self):
         assert set(LINT_RULES) == {
-            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         }
         assert all(desc for desc in LINT_RULES.values())
 
@@ -156,3 +156,64 @@ class TestRepoIsClean:
     def test_src_tree_passes(self):
         found = lint_paths([SRC])
         assert found == [], "\n".join(str(v) for v in found)
+
+
+MARK = "# repro: columnar-hot-path\n"
+
+
+class TestRep006PerRankLoop:
+    def test_rank_loop_fires_in_marked_file(self):
+        src = MARK + "def _f(num_nodes):\n    for u in range(num_nodes):\n        pass\n"
+        found = lint_source(src, "m.py")
+        assert "REP006" in codes(found)
+        (v,) = [v for v in found if v.code == "REP006"]
+        assert "num_nodes" in v.message
+
+    def test_comprehension_over_nodes_fires(self):
+        src = MARK + "def _f(topo):\n    return [u for u in topo.nodes()]\n"
+        assert "REP006" in codes(lint_source(src, "m.py"))
+
+    def test_arange_iteration_fires(self):
+        src = (
+            MARK
+            + "import numpy as np\n"
+            + "def _f(n):\n    for u in np.arange(n):\n        pass\n"
+        )
+        assert "REP006" in codes(lint_source(src, "m.py"))
+
+    def test_round_and_schedule_loops_pass(self):
+        src = (
+            MARK
+            + "def _f(m, schedule, b):\n"
+            + "    for i in range(m):\n        pass\n"
+            + "    for k, step in enumerate(schedule):\n        pass\n"
+            + "    for k in range(1, b):\n        pass\n"
+        )
+        assert "REP006" not in codes(lint_source(src, "m.py"))
+
+    def test_unmarked_file_is_exempt(self):
+        src = "def _f(num_nodes):\n    for u in range(num_nodes):\n        pass\n"
+        assert "REP006" not in codes(lint_source(src, "m.py"))
+
+    def test_noqa_suppresses(self):
+        src = (
+            MARK
+            + "def _f(num_nodes):\n"
+            + "    for u in range(num_nodes):  # noqa: REP006\n        pass\n"
+        )
+        assert "REP006" not in codes(lint_source(src, "m.py"))
+
+    def test_rule_is_documented(self):
+        assert "REP006" in LINT_RULES
+
+    def test_marked_repo_files_stay_clean(self):
+        # The real columnar modules carry the marker; the rule must hold
+        # on them, not only on synthetic snippets.
+        marked = [
+            os.path.join(SRC, "repro", "simulator", "columnar.py"),
+            os.path.join(SRC, "repro", "core", "columnar.py"),
+        ]
+        for path in marked:
+            with open(path, encoding="utf-8") as fh:
+                assert "# repro: columnar-hot-path" in fh.read()
+            assert lint_file(path) == []

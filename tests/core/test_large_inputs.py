@@ -183,3 +183,55 @@ class TestLargePrefixEngine:
         for k, v in enumerate(vals):
             acc = acc + v
             assert out[k] == acc
+
+
+class TestBlockedValidationMessages:
+    """Regression: the length error must interpolate len(arr), not arr.shape."""
+
+    def test_non_multiple_message_shows_length(self):
+        dc = DualCube(2)  # 8 nodes
+        with pytest.raises(
+            ValueError,
+            match=r"input length 9 must be a positive multiple of the "
+            r"network size 8",
+        ):
+            large_prefix(dc, np.arange(9), ADD)
+
+    def test_empty_message_shows_length(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError, match=r"input length 0 must be"):
+            large_prefix(dc, np.array([]), ADD)
+
+    def test_multidimensional_input_names_shape(self):
+        dc = DualCube(2)
+        with pytest.raises(
+            ValueError, match=r"expected a flat 1-D input, got shape \(2, 4\)"
+        ):
+            large_prefix(dc, np.zeros((2, 4)), ADD)
+
+
+class TestLocalSortCost:
+    """Regression: local-sort comp cost uses ceil(log2 B), not floor."""
+
+    def test_ceil_log2_values(self):
+        from repro.core.large_inputs import _local_sort_ops
+
+        # b * ceil(log2 b), clamped to >= 1 comparison.
+        assert _local_sort_ops(1) == 1
+        assert _local_sort_ops(2) == 2
+        assert _local_sort_ops(3) == 6  # floor would give 3
+        assert _local_sort_ops(4) == 8
+        assert _local_sort_ops(5) == 15  # floor would give 10
+        assert _local_sort_ops(8) == 24
+
+    def test_counters_pin_b3(self, rng):
+        # n=2: 2n^2 - n = 6 merge-split rounds at 2B = 6 ops each, plus
+        # the local sort's B * ceil(log2 B) = 6 (floor(log2 3) = 1 would
+        # have charged only 3).
+        rdc = RecursiveDualCube(2)
+        keys = rng.permutation(3 * rdc.num_nodes)
+        c = CostCounters(rdc.num_nodes)
+        out = large_sort(rdc, keys, counters=c)
+        assert list(out) == sorted(keys)
+        assert c.max_node_ops == 6 + 6 * 6
+        assert c.comp_steps == 1 + 6

@@ -171,3 +171,63 @@ class TestFeeds:
         assert out is reg
         names = {m.name for m in reg.metrics()}
         assert "repro_messages" in names and "repro_timeline_cycles" in names
+
+
+class TestPrometheusSpecConformance:
+    """Text-format spec details: the +Inf bucket, special values, and
+    family grouping."""
+
+    def test_inf_bucket_present_and_equals_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1, 2))
+        for v in (0.5, 1.5, 99):
+            h.observe(v)
+        lines = reg.to_prometheus().splitlines()
+        inf_lines = [l for l in lines if 'le="+Inf"' in l]
+        assert len(inf_lines) == 1
+        (count_line,) = [l for l in lines if l.startswith("h_count")]
+        assert inf_lines[0].split()[-1] == count_line.split()[-1] == "3"
+
+    def test_explicit_inf_bucket_is_normalized(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1, 2, math.inf))
+        assert h.bounds == (1.0, 2.0)
+        h.observe(5)
+        lines = reg.to_prometheus().splitlines()
+        assert len([l for l in lines if 'le="+Inf"' in l]) == 1
+
+    def test_only_inf_bucket_rejected(self):
+        with pytest.raises(ValueError, match="finite bucket"):
+            Histogram("h", buckets=(math.inf,))
+
+    def test_negative_inf_and_nan_render_per_spec(self):
+        reg = MetricsRegistry()
+        reg.gauge("lo").set(-math.inf)
+        reg.gauge("hi").set(math.inf)
+        reg.gauge("bad").set(math.nan)
+        text = reg.to_prometheus()
+        assert "lo -Inf\n" in text
+        assert "hi +Inf\n" in text
+        assert "bad NaN\n" in text
+        assert "-inf" not in text and " nan" not in text
+
+    def test_interleaved_families_are_grouped(self):
+        reg = MetricsRegistry()
+        reg.counter("a", "first", {"x": "1"}).inc(1)
+        reg.counter("b").inc(2)
+        reg.counter("a", labels={"x": "2"}).inc(3)
+        lines = reg.to_prometheus().splitlines()
+        assert lines == [
+            "# HELP a first",
+            "# TYPE a counter",
+            'a_total{x="1"} 1',
+            'a_total{x="2"} 3',
+            "# TYPE b counter",
+            "b_total 2",
+        ]
+
+    def test_cross_labelset_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"x": "1"})
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("m", labels={"x": "2"})

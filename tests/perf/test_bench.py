@@ -223,3 +223,99 @@ class TestCli:
         )
         assert rc == 1
         assert "REGRESSIONS" in capsys.readouterr().out
+
+
+class TestColumnarBench:
+    @pytest.fixture(scope="class")
+    def columnar_payload(self):
+        from repro.perf import run_bench_columnar
+
+        return run_bench_columnar(smoke=True, max_n=2)
+
+    def test_smoke_runs_single_size(self, columnar_payload):
+        assert columnar_payload["suite"] == "columnar"
+        assert columnar_payload["schema"] == SCHEMA_VERSION
+        assert {r["n"] for r in columnar_payload["records"]} == {2}
+        assert {r["backend"] for r in columnar_payload["records"]} == {"columnar"}
+        assert {r["bench"] for r in columnar_payload["records"]} == {
+            "dual_prefix",
+            "dual_sort",
+        }
+
+    def test_records_carry_peak_memory(self, columnar_payload):
+        for r in columnar_payload["records"]:
+            assert r["peak_mem_mb"] > 0
+
+    def test_counters_match_core_suite(self, columnar_payload, smoke_payload):
+        # The columnar records must be cost-identical to the vectorized
+        # rows of the core suite at the same (bench, n).
+        core = {
+            (r["bench"], r["n"]): r
+            for r in smoke_payload["records"]
+            if r["backend"] == "vectorized"
+        }
+        for r in columnar_payload["records"]:
+            base = core[(r["bench"], r["n"])]
+            for f in _EXACT_FIELDS:
+                assert r[f] == base[f], (r["bench"], f)
+
+    def test_max_n_validated(self):
+        from repro.perf import run_bench_columnar
+
+        with pytest.raises(ValueError, match="max_n"):
+            run_bench_columnar(max_n=1)
+
+
+class TestMergeBench:
+    def test_merge_keeps_disjoint_and_overwrites_collisions(self):
+        from repro.perf import merge_bench
+
+        rec = dict(bench="dual_prefix", backend="columnar", n=2, wall_s=1.0)
+        old = dict(bench="dual_prefix", backend="vectorized", n=2, wall_s=9.0)
+        collide_old = dict(rec, wall_s=5.0)
+        base = {"schema": 2, "suite": "core", "records": [old, collide_old]}
+        new = {"schema": SCHEMA_VERSION, "suite": "columnar", "records": [rec]}
+        merged = merge_bench(base, new)
+        assert merged["schema"] == SCHEMA_VERSION
+        assert merged["suite"] == "columnar"
+        keys = [(r["bench"], r["backend"], r["n"]) for r in merged["records"]]
+        assert keys == sorted(keys) and len(keys) == 2
+        by_key = {(r["bench"], r["backend"], r["n"]): r for r in merged["records"]}
+        assert by_key[("dual_prefix", "columnar", 2)]["wall_s"] == 1.0
+        assert by_key[("dual_prefix", "vectorized", 2)]["wall_s"] == 9.0
+
+    def test_older_schemas_still_load(self, tmp_path):
+        for schema in (1, 2):
+            p = tmp_path / f"v{schema}.json"
+            p.write_text(json.dumps({"schema": schema, "records": []}))
+            assert load_bench(p)["schema"] == schema
+
+
+class TestColumnarCli:
+    def test_bench_backend_columnar_smoke(self, tmp_path, capsys):
+        out = tmp_path / "bc.json"
+        rc = main(
+            ["bench", "--backend", "columnar", "--smoke", "--max-n", "2",
+             "--out", str(out), "--compare", str(out)]
+        )
+        # --compare pointing at a not-yet-existing baseline is a first
+        # run: record it and exit clean rather than crash.
+        assert rc == 0
+        assert out.exists()
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_compare_loads_baseline_before_overwriting(self, tmp_path):
+        out = tmp_path / "bc.json"
+        assert main(
+            ["bench", "--backend", "columnar", "--smoke", "--max-n", "2",
+             "--out", str(out)]
+        ) == 0
+        # Second run compares against the file it is about to overwrite;
+        # counters are deterministic, so this must gate clean.
+        assert main(
+            ["bench", "--backend", "columnar", "--smoke", "--max-n", "2",
+             "--out", str(out), "--compare", str(out), "--wall-factor", "50"]
+        ) == 0
+
+    def test_faults_flag_rejected_for_columnar(self):
+        assert main(["bench", "--backend", "columnar", "--faults"]) == 2

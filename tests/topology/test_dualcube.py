@@ -214,3 +214,64 @@ class TestDistance:
         v = dc.compose(0, 1, 0)
         assert hamming(u, v) == 1
         assert dc.distance(u, v) == 3
+
+
+class TestArithmeticQueries:
+    """The columnar backend's address-arithmetic neighbor API must agree
+    with the scalar topology methods it replaces."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_cross_partner_v_matches_scalar(self, n):
+        dc = DualCube(n)
+        vec = dc.cross_partner_v()
+        assert vec.dtype == np.int64
+        for u in dc.nodes():
+            assert vec[u] == dc.cross_partner(u)
+
+    def test_cross_partner_v_accepts_explicit_subset(self):
+        dc = DualCube(3)
+        subset = np.array([0, 5, 17], dtype=np.int64)
+        expected = [dc.cross_partner(int(u)) for u in subset]
+        assert dc.cross_partner_v(subset).tolist() == expected
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_intra_partner_v_matches_flip_of_global_dim(self, n):
+        dc = DualCube(n)
+        nodes = dc.all_nodes_array()
+        for local_dim in range(n - 1):
+            vec = dc.intra_partner_v(nodes, local_dim)
+            for u in dc.nodes():
+                g = dc.local_to_global_dim(u, local_dim)
+                assert vec[u] == u ^ (1 << g)
+
+    def test_intra_partner_v_rejects_out_of_range_dim(self):
+        dc = DualCube(3)
+        with pytest.raises(ValueError, match="local dimension"):
+            dc.intra_partner_v(dc.all_nodes_array(), 2)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_local_round_bit_is_class_uniform(self, n):
+        dc = DualCube(n)
+        for u in dc.nodes():
+            cls = dc.class_of(u)
+            for local_dim in range(n - 1):
+                assert (
+                    dc.local_round_bit(cls, local_dim)
+                    == dc.local_to_global_dim(u, local_dim)
+                )
+
+    def test_local_round_bit_validates_arguments(self):
+        dc = DualCube(3)
+        with pytest.raises(ValueError, match="class"):
+            dc.local_round_bit(2, 0)
+        with pytest.raises(ValueError, match="local dimension"):
+            dc.local_round_bit(0, 5)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_class_slices_partition_by_class(self, n):
+        dc = DualCube(n)
+        lo, hi = dc.class_slices()
+        nodes = list(dc.nodes())
+        assert nodes[lo] + nodes[hi] == nodes
+        assert all(dc.class_of(u) == 0 for u in nodes[lo])
+        assert all(dc.class_of(u) == 1 for u in nodes[hi])

@@ -1,5 +1,6 @@
 """Tests for the hypercube topology."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -86,3 +87,24 @@ class TestDistance:
 
         for q in range(1, 5):
             assert diameter(Hypercube(q)) == q
+
+
+class TestArithmeticQueries:
+    @pytest.mark.parametrize("q", [0, 1, 3, 5])
+    def test_all_nodes_array(self, q):
+        arr = Hypercube(q).all_nodes_array()
+        assert arr.dtype == np.int64
+        assert arr.tolist() == list(range(1 << q))
+
+    @pytest.mark.parametrize("q", [1, 3, 5])
+    def test_partner_v_matches_scalar_partner(self, q):
+        cube = Hypercube(q)
+        nodes = cube.all_nodes_array()
+        for d in range(q):
+            vec = cube.partner_v(nodes, d)
+            for u in cube.nodes():
+                assert vec[u] == cube.partner(u, d)
+
+    def test_partner_v_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).partner_v(np.arange(8), 3)
