@@ -1,15 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench bench-columnar
+.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench bench-columnar bench-replay
 
 ## check: tier-1 tests + static analysis + timeline/bench smoke runs (what CI gates on)
-check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke
+check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-## lint: repo-wide AST lint (REP001-REP006) over src/
+## lint: repo-wide AST lint (REP001-REP007) over src/
 lint:
 	$(PYTHON) -m repro lint src
 
@@ -36,6 +36,14 @@ bench-columnar-smoke:
 		--out BENCH_columnar_smoke.json --compare BENCH_columnar_smoke.json \
 		--wall-factor 20
 
+## bench-replay-smoke: compiled-plan replay backend (n<=3 plus a sharded
+## row), cost counters regression-gated against the committed baseline
+## (wide wall factor — only the deterministic counters gate on CI machines)
+bench-replay-smoke:
+	$(PYTHON) -m repro bench --backend replay --smoke \
+		--out BENCH_replay_smoke.json --compare BENCH_replay_smoke.json \
+		--wall-factor 20
+
 ## bench: full sweep, refreshes BENCH_core.json at the repo root
 bench:
 	$(PYTHON) -m repro bench
@@ -43,3 +51,7 @@ bench:
 ## bench-columnar: columnar sweep to D_11, merged into BENCH_core.json
 bench-columnar:
 	$(PYTHON) -m repro bench --backend columnar
+
+## bench-replay: replay sweep (plus sharded D_9 row), merged into BENCH_core.json
+bench-replay:
+	$(PYTHON) -m repro bench --backend replay

@@ -18,6 +18,10 @@ dynamic run:
 * :mod:`repro.analysis.static.theorems` — Theorem 1/2 verification
   drivers over D_2..D_5 plus schedule cases for every engine algorithm
   in :mod:`repro.core`;
+* :mod:`repro.analysis.static.compile` — turns the extracted schedules
+  around: compiles `D_prefix` and step-schedule algorithms into
+  straight-line plans of permutations and masks (validated against
+  :func:`extract_schedule`) that the ``"replay"`` backend executes;
 * :mod:`repro.analysis.static.lint` — a stdlib-``ast`` repo linter with
   repro-specific rules (``repro lint``).
 
@@ -49,6 +53,15 @@ from repro.analysis.static.theorems import (
     verify_sort_schedule,
     verify_theorems,
 )
+from repro.analysis.static.compile import (
+    CompiledStep,
+    PlanError,
+    PrefixPlan,
+    SchedulePlan,
+    compile_prefix_plan,
+    compile_schedule_plan,
+    plan_comm_schedule,
+)
 from repro.analysis.static.lint import (
     LINT_RULES,
     LintViolation,
@@ -75,6 +88,13 @@ __all__ = [
     "verify_prefix_schedule",
     "verify_sort_schedule",
     "verify_theorems",
+    "CompiledStep",
+    "PlanError",
+    "PrefixPlan",
+    "SchedulePlan",
+    "compile_prefix_plan",
+    "compile_schedule_plan",
+    "plan_comm_schedule",
     "LINT_RULES",
     "LintViolation",
     "lint_file",

@@ -21,6 +21,12 @@ public surface:
   ``nodes()``, ...) defeats the backend's whole point; vectorize over
   ranks instead.  Loops over rounds, schedule steps or block slots are
   fine — only rank-indexed iteration is flagged.
+* **REP007 inline-backend-compare** — comparing a variable or attribute
+  named ``backend`` against a string literal (``backend == "engine"``,
+  ``args.backend != "columnar"``) re-creates the drifting if-chains the
+  backend registry replaced; dispatch through
+  ``repro.core.backends.resolve_backend`` (or key a dict/set on the
+  name).  Only ``repro/core/backends.py`` itself is exempt.
 
 Suppress a finding in place with ``# noqa`` (all rules) or
 ``# noqa: REP001,REP004`` (specific rules).  ``repro lint`` runs
@@ -49,6 +55,7 @@ LINT_RULES = {
     "REP004": "print() in library code (only cli.py and viz/ may print)",
     "REP005": "module defines public names but declares no __all__",
     "REP006": "per-rank Python loop in a columnar-hot-path file",
+    "REP007": "inline backend string comparison outside the backend registry",
 }
 
 # Directory names never descended into by lint_paths.
@@ -249,6 +256,44 @@ def _print_exempt(path: str) -> bool:
     return os.path.basename(path) == "cli.py" or "viz" in parts
 
 
+def _backend_registry_exempt(path: str) -> bool:
+    """REP007 exemption: the registry module itself."""
+    parts = path.replace("\\", "/").split("/")
+    return parts[-2:] == ["core", "backends.py"]
+
+
+def _is_backend_ident(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Name) and node.id == "backend") or (
+        isinstance(node, ast.Attribute) and node.attr == "backend"
+    )
+
+
+def _backend_compare_findings(node: ast.Compare) -> list[tuple[int, str, str]]:
+    """REP007 findings in one comparison (``==``/``!=`` legs only)."""
+    out = []
+    operands = [node.left, *node.comparators]
+    for cmp_op, left, right in zip(node.ops, operands, operands[1:]):
+        if not isinstance(cmp_op, (ast.Eq, ast.NotEq)):
+            continue
+        for a, b in ((left, right), (right, left)):
+            if (
+                _is_backend_ident(a)
+                and isinstance(b, ast.Constant)
+                and isinstance(b.value, str)
+            ):
+                out.append(
+                    (
+                        node.lineno,
+                        "REP007",
+                        f"inline backend string comparison "
+                        f"(backend == {b.value!r}); dispatch through "
+                        f"repro.core.backends.resolve_backend",
+                    )
+                )
+                break
+    return out
+
+
 def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     """Lint one module's source text; returns findings (empty = clean)."""
     tree = ast.parse(source, filename=path)
@@ -263,6 +308,9 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
             )
         elif isinstance(node, ast.ExceptHandler) and node.type is None:
             raw.append((node.lineno, "REP003", LINT_RULES["REP003"]))
+        elif isinstance(node, ast.Compare):
+            if not _backend_registry_exempt(path):
+                raw.extend(_backend_compare_findings(node))
         elif isinstance(node, ast.Call):
             canonical = _canonical_call(node, aliases)
             if canonical is None:

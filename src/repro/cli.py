@@ -207,27 +207,36 @@ def _cmd_bench(args) -> int:
         merge_bench,
         run_bench,
         run_bench_columnar,
+        run_bench_replay,
         write_bench,
     )
 
-    if args.backend == "columnar":
-        if args.faults:
-            print("--faults is the core suite only (engine-backed scenarios)")
-            return 2
-        payload = run_bench_columnar(
+    backend = args.backend
+    if backend in ("columnar", "replay") and args.faults:
+        print("--faults is the core suite only (engine-backed scenarios)")
+        return 2
+    suites = {
+        "columnar": lambda: run_bench_columnar(
             max_n=args.max_n if args.max_n is not None else 11,
             repeats=args.repeats,
             smoke=args.smoke,
             seed=args.seed,
-        )
-    else:
-        payload = run_bench(
+        ),
+        "replay": lambda: run_bench_replay(
+            max_n=args.max_n if args.max_n is not None else 5,
+            repeats=args.repeats,
+            smoke=args.smoke,
+            seed=args.seed,
+        ),
+        "core": lambda: run_bench(
             max_n=args.max_n if args.max_n is not None else 5,
             repeats=args.repeats,
             smoke=args.smoke,
             seed=args.seed,
             faults_only=args.faults,
-        )
+        ),
+    }
+    payload = suites[backend]()
     rows = [
         (
             r["bench"],
@@ -251,14 +260,16 @@ def _cmd_bench(args) -> int:
             title="repro bench" + (" (smoke)" if args.smoke else ""),
         )
     )
-    if args.backend == "columnar":
-        default_out = (
-            "BENCH_columnar_smoke.json" if args.smoke else "BENCH_core.json"
-        )
-    elif args.faults:
+    if args.faults:
         default_out = "BENCH_faults_smoke.json" if args.smoke else "BENCH_faults.json"
+    elif args.smoke:
+        default_out = {
+            "columnar": "BENCH_columnar_smoke.json",
+            "replay": "BENCH_replay_smoke.json",
+            "core": "BENCH_smoke.json",
+        }[backend]
     else:
-        default_out = "BENCH_smoke.json" if args.smoke else "BENCH_core.json"
+        default_out = "BENCH_core.json"
     out = args.out or default_out
 
     # Load the comparison baseline *before* writing: --compare pointed at
@@ -272,9 +283,9 @@ def _cmd_bench(args) -> int:
         else:
             print(f"no baseline at {args.compare}; recording a fresh one")
 
-    if args.backend == "columnar" and not args.smoke and Path(out).exists():
-        # A full columnar sweep lands next to the core suite's records
-        # instead of clobbering them.
+    if backend in ("columnar", "replay") and not args.smoke and Path(out).exists():
+        # A full columnar or replay sweep lands next to the core suite's
+        # records instead of clobbering them.
         payload = merge_bench(load_bench(out), payload)
     path = write_bench(payload, out)
     print(f"wrote {path} ({len(payload['records'])} records)")
@@ -522,13 +533,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--repeats", type=int, default=3, help="wallclock best-of repeats")
     sp.add_argument(
-        "--backend", choices=["core", "columnar"], default="core",
+        "--backend", choices=["core", "columnar", "replay"], default="core",
         help="core = vectorized+engine suite; columnar = structured-array "
-             "backend sweep to D_11 (merged into BENCH_core.json)",
+             "backend sweep to D_11; replay = compiled-plan backend sweep "
+             "plus one sharded row (full runs merge into BENCH_core.json)",
     )
     sp.add_argument(
         "--smoke", action="store_true",
-        help="quick wiring check (core: n<=3, 1 repeat; columnar: n=9 only)",
+        help="quick wiring check (core/replay: n<=3, 1 repeat; columnar: n=9 only)",
     )
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument(
@@ -570,7 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.set_defaults(fn=_cmd_timeline)
 
-    sp = sub.add_parser("lint", help="repo lint (REP001-REP006, stdlib ast)")
+    sp = sub.add_parser("lint", help="repo lint (REP001-REP007, stdlib ast)")
     sp.add_argument(
         "paths", nargs="*",
         help="files/directories to lint (default: src)",

@@ -9,8 +9,20 @@ Every algorithm exists in two executions:
   dimension exchanges as index permutations, which runs orders of
   magnitude faster and is used for large-n benchmarks and traces.
 
-Both are cross-checked against each other and against sequential oracles
-in the test suite.
+plus two derived high-throughput executions:
+
+* a **columnar backend** — structured-array node state with in-place view
+  combines, scaling the same schedules to D_9-D_11;
+* a **replay backend** — the communication schedule compiled once (and
+  cached) into a straight-line plan of permutations and masks, the
+  fastest option on repeat runs and the only one with per-cluster
+  multiprocessing sharding.
+
+Backend selection is declarative: every entry point dispatches through
+:mod:`repro.core.backends`, where each backend registers its
+capabilities (counters/trace/profiler/shards support, return shape)
+exactly once.  All executions are cross-checked against each other and
+against sequential oracles in the test suite.
 """
 
 from repro.core.ops import (
@@ -42,11 +54,19 @@ from repro.core.dual_prefix import (
     dual_prefix_engine,
     dual_suffix_vec,
 )
+from repro.core.backends import (
+    BackendSpec,
+    backend_names,
+    backend_spec,
+    entry_points,
+    resolve_backend,
+)
 from repro.core.bitonic import (
     is_bitonic,
     hypercube_bitonic_sort,
     hypercube_bitonic_sort_vec,
     hypercube_bitonic_sort_engine,
+    hypercube_bitonic_sort_columnar,
     bitonic_schedule,
 )
 from repro.core.dual_sort import (
@@ -57,13 +77,30 @@ from repro.core.dual_sort import (
     schedule_program,
     ScheduleStep,
 )
-from repro.core.large_inputs import large_prefix, large_prefix_engine, large_sort
+from repro.core.large_inputs import (
+    large_prefix,
+    large_prefix_vec,
+    large_prefix_engine,
+    large_sort,
+    large_sort_vec,
+)
 from repro.core.columnar import (
     dual_prefix_columnar,
     execute_schedule_columnar,
     dual_sort_columnar,
     large_prefix_columnar,
     large_sort_columnar,
+)
+from repro.core.replay import (
+    clear_plan_cache,
+    dual_prefix_replay,
+    dual_sort_replay,
+    execute_schedule_replay,
+    hypercube_bitonic_sort_replay,
+    large_prefix_replay,
+    large_sort_replay,
+    plan_cache_stats,
+    registry_from_plan_cache,
 )
 from repro.core.emulation import (
     emulated_cube_prefix,
@@ -119,10 +156,16 @@ __all__ = [
     "dual_prefix_vec",
     "dual_prefix_engine",
     "dual_suffix_vec",
+    "BackendSpec",
+    "backend_names",
+    "backend_spec",
+    "entry_points",
+    "resolve_backend",
     "is_bitonic",
     "hypercube_bitonic_sort",
     "hypercube_bitonic_sort_vec",
     "hypercube_bitonic_sort_engine",
+    "hypercube_bitonic_sort_columnar",
     "bitonic_schedule",
     "dual_sort",
     "dual_sort_vec",
@@ -131,13 +174,24 @@ __all__ = [
     "schedule_program",
     "ScheduleStep",
     "large_prefix",
+    "large_prefix_vec",
     "large_prefix_engine",
     "large_sort",
+    "large_sort_vec",
     "dual_prefix_columnar",
     "execute_schedule_columnar",
     "dual_sort_columnar",
     "large_prefix_columnar",
     "large_sort_columnar",
+    "clear_plan_cache",
+    "dual_prefix_replay",
+    "dual_sort_replay",
+    "execute_schedule_replay",
+    "hypercube_bitonic_sort_replay",
+    "large_prefix_replay",
+    "large_sort_replay",
+    "plan_cache_stats",
+    "registry_from_plan_cache",
     "emulated_cube_prefix",
     "emulated_cube_prefix_vec",
     "exchange_algorithm_program",

@@ -33,7 +33,15 @@ __all__ = [
     "hypercube_bitonic_sort",
     "hypercube_bitonic_sort_vec",
     "hypercube_bitonic_sort_engine",
+    "hypercube_bitonic_sort_columnar",
 ]
+
+
+def _sort_cube(n: int) -> Hypercube:
+    """The hypercube sorting ``n`` keys (``n`` must be a power of two)."""
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"key count must be a power of two, got {n}")
+    return Hypercube(n.bit_length() - 1)
 
 
 def is_bitonic(seq: Sequence) -> bool:
@@ -92,13 +100,31 @@ def hypercube_bitonic_sort_vec(
 ) -> np.ndarray:
     """Vectorized Batcher bitonic sort of ``2**q`` keys (the E7 baseline)."""
     arr = np.asarray(keys)
-    n = len(arr)
-    if n == 0 or n & (n - 1):
-        raise ValueError(f"key count must be a power of two, got {n}")
-    q = n.bit_length() - 1
-    cube = Hypercube(q)
-    sched = bitonic_schedule(q, descending=descending)
+    cube = _sort_cube(len(arr))
+    sched = bitonic_schedule(cube.q, descending=descending)
     return execute_schedule_vec(cube, arr, sched, counters=counters, trace=trace)
+
+
+def hypercube_bitonic_sort_columnar(
+    keys,
+    *,
+    descending: bool = False,
+    counters: CostCounters | None = None,
+) -> np.ndarray:
+    """Columnar Batcher bitonic sort of ``2**q`` keys.
+
+    Results and counters mirror :func:`hypercube_bitonic_sort_vec`
+    exactly; the schedule executes through
+    :func:`~repro.core.columnar.execute_schedule_columnar`'s in-place
+    reshape views (every hypercube dimension is direct, so the executor's
+    dual-cube relay machinery never engages).
+    """
+    from repro.core.columnar import execute_schedule_columnar
+
+    arr = np.asarray(keys)
+    cube = _sort_cube(len(arr))
+    sched = bitonic_schedule(cube.q, descending=descending)
+    return execute_schedule_columnar(cube, arr, sched, counters=counters)
 
 
 def hypercube_bitonic_sort_engine(
@@ -121,18 +147,19 @@ def hypercube_bitonic_sort(
     counters: CostCounters | None = None,
     trace: TraceRecorder | None = None,
 ):
-    """Bitonic sort on the hypercube (baseline public entry point)."""
-    if backend == "vectorized":
-        return hypercube_bitonic_sort_vec(
-            keys, descending=descending, counters=counters, trace=trace
-        )
-    if backend == "engine":
-        arr = list(keys)
-        n = len(arr)
-        if n == 0 or n & (n - 1):
-            raise ValueError(f"key count must be a power of two, got {n}")
-        cube = Hypercube(n.bit_length() - 1)
-        return hypercube_bitonic_sort_engine(
-            cube, arr, descending=descending, trace=trace
-        )
-    raise ValueError(f"unknown backend {backend!r}; use 'vectorized' or 'engine'")
+    """Bitonic sort on the hypercube (baseline public entry point).
+
+    ``backend`` selects ``"vectorized"``, ``"columnar"``, ``"replay"``
+    (identical results and counters), or ``"engine"`` (cycle-accurate;
+    returns ``(keys, EngineResult)``); capabilities are declared in
+    :mod:`repro.core.backends`.
+    """
+    from repro.core.backends import resolve_backend
+
+    run = resolve_backend(
+        "bitonic",
+        backend,
+        counters=counters is not None,
+        trace=trace is not None,
+    )
+    return run(keys, descending=descending, counters=counters, trace=trace)

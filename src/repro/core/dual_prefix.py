@@ -33,8 +33,10 @@ from typing import Any
 import numpy as np
 
 from repro.core.arrangement import arrange, arranged_index_v, dearrange
+from repro.core.backends import resolve_backend
 from repro.core.cube_prefix import ascend_rounds_vec, cube_prefix_program
 from repro.core.ops import AssocOp, combine_arrays
+from repro.obs.profile import NULL_PROFILER
 from repro.simulator import CostCounters, SendRecv, TraceRecorder, run_spmd
 from repro.topology.dualcube import DualCube
 
@@ -174,14 +176,20 @@ def dual_prefix_vec(
     paper_literal: bool = False,
     counters: CostCounters | None = None,
     trace: TraceRecorder | None = None,
+    profiler=None,
 ) -> np.ndarray:
     """Vectorized Algorithm 2; returns prefixes in input-index order.
 
     Step-for-step mirror of :func:`dual_prefix_engine` on whole-network
     arrays; the cross-edge exchanges become a single index permutation and
-    each cluster round one masked combine.
+    each cluster round one masked combine.  ``profiler`` (a
+    :class:`~repro.obs.profile.PhaseProfiler`) records wallclock spans
+    for the algorithm's four segments: ``cluster-prefix`` (step 1),
+    ``cross`` (the cross-edge exchanges), ``block-prefix`` (step 3), and
+    ``fold`` (steps 4-5).
     """
     vals = np.asarray(values)
+    prof = profiler if profiler is not None else NULL_PROFILER
     if vals.shape != (dc.num_nodes,):
         raise ValueError(
             f"expected {dc.num_nodes} values for {dc.name}, got shape {vals.shape}"
@@ -204,39 +212,45 @@ def dual_prefix_vec(
     def upper(i):
         return (nid >> i) & 1 == 1
 
-    t = held.copy()
-    s = held.copy() if inclusive else op.identity_array(dc.num_nodes)
-    t, s = ascend_rounds_vec(t, s, m, partner, upper, op, counters)
+    with prof.span("cluster-prefix", rounds=m):
+        t = held.copy()
+        s = held.copy() if inclusive else op.identity_array(dc.num_nodes)
+        t, s = ascend_rounds_vec(t, s, m, partner, upper, op, counters)
     if trace is not None:
         trace.record_array("(b) cluster prefix s", s)
         trace.record_array("(b) cluster total t", t)
 
-    temp = t[cross]
-    if counters is not None:
-        counters.record_comm_step(messages=dc.num_nodes)
+    with prof.span("cross"):
+        temp = t[cross]
+        if counters is not None:
+            counters.record_comm_step(messages=dc.num_nodes)
     if trace is not None:
         trace.record_array("(c) cross total temp", temp)
 
-    t2 = temp.copy()
-    s2 = op.identity_array(dc.num_nodes)
-    t2, s2 = ascend_rounds_vec(t2, s2, m, partner, upper, op, counters)
+    with prof.span("block-prefix", rounds=m):
+        t2 = temp.copy()
+        s2 = op.identity_array(dc.num_nodes)
+        t2, s2 = ascend_rounds_vec(t2, s2, m, partner, upper, op, counters)
     if trace is not None:
         trace.record_array("(d) block-prefix s'", s2)
         trace.record_array("(d) half total t'", t2)
 
-    got = s2[cross]
-    if counters is not None:
-        counters.record_comm_step(messages=dc.num_nodes)
-        counters.record_comp_step(ops_each=1)
-    s = combine_arrays(op, got, s)
+    with prof.span("cross"):
+        got = s2[cross]
+        if counters is not None:
+            counters.record_comm_step(messages=dc.num_nodes)
+            counters.record_comp_step(ops_each=1)
+    with prof.span("fold"):
+        s = combine_arrays(op, got, s)
     if trace is not None:
         trace.record_array("(e) after s' fold", s)
 
-    if paper_literal and counters is not None:
-        counters.record_comm_step(messages=dc.num_nodes)
-    s = np.where(cls1, combine_arrays(op, t2, s), s)
-    if counters is not None:
-        counters.record_comp_step(ops_each=1, ranks=idx[cls1])
+    with prof.span("fold"):
+        if paper_literal and counters is not None:
+            counters.record_comm_step(messages=dc.num_nodes)
+        s = np.where(cls1, combine_arrays(op, t2, s), s)
+        if counters is not None:
+            counters.record_comp_step(ops_each=1, ranks=idx[cls1])
     if trace is not None:
         trace.record_array("(f) final prefix", s)
 
@@ -253,53 +267,39 @@ def dual_prefix(
     paper_literal: bool = False,
     counters: CostCounters | None = None,
     trace: TraceRecorder | None = None,
+    profiler=None,
+    shards: int | None = None,
 ):
     """Parallel prefix on the dual-cube — the library's headline entry point.
 
     ``backend`` selects ``"vectorized"`` (fast; returns the prefix array),
-    ``"columnar"`` (structured-array state, in-place view combines — the
-    only backend that reaches D_9-D_11; returns the prefix array), or
-    ``"engine"`` (cycle-accurate; returns ``(prefixes, EngineResult)``).
-    The columnar backend has no per-rank value trace; pass ``trace`` only
-    to the other two.
+    ``"columnar"`` (structured-array state, in-place view combines;
+    reaches D_9-D_11), ``"replay"`` (compiled straight-line plan; fastest
+    on repeat runs, and the only backend taking ``shards`` for
+    per-cluster multiprocessing), or ``"engine"`` (cycle-accurate;
+    returns ``(prefixes, EngineResult)``).  Capabilities are declared in
+    :mod:`repro.core.backends`: a backend without per-rank traces,
+    profiling hooks, external counters, or sharding rejects the
+    corresponding keyword with a ``ValueError``.
     """
-    if backend == "columnar":
-        if trace is not None:
-            raise ValueError(
-                "the columnar backend keeps no per-rank values to trace; "
-                "use backend='vectorized' or 'engine' with trace"
-            )
-        from repro.core.columnar import dual_prefix_columnar
-
-        return dual_prefix_columnar(
-            dc,
-            values,
-            op,
-            inclusive=inclusive,
-            paper_literal=paper_literal,
-            counters=counters,
-        )
-    if backend == "vectorized":
-        return dual_prefix_vec(
-            dc,
-            values,
-            op,
-            inclusive=inclusive,
-            paper_literal=paper_literal,
-            counters=counters,
-            trace=trace,
-        )
-    if backend == "engine":
-        return dual_prefix_engine(
-            dc,
-            values,
-            op,
-            inclusive=inclusive,
-            paper_literal=paper_literal,
-            trace=trace,
-        )
-    raise ValueError(
-        f"unknown backend {backend!r}; use 'vectorized', 'columnar' or 'engine'"
+    run = resolve_backend(
+        "dual_prefix",
+        backend,
+        counters=counters is not None,
+        trace=trace is not None,
+        profiler=profiler is not None,
+        shards=shards is not None,
+    )
+    return run(
+        dc,
+        values,
+        op,
+        inclusive=inclusive,
+        paper_literal=paper_literal,
+        counters=counters,
+        trace=trace,
+        profiler=profiler,
+        shards=shards,
     )
 
 

@@ -387,51 +387,29 @@ def dual_sort(
     """Sorting on the dual-cube — the library's headline entry point.
 
     ``backend`` selects ``"vectorized"`` (fast; returns the sorted array),
-    ``"columnar"`` (structured-array state, in-place view compare-exchange
-    — the only backend that reaches D_9-D_11; returns the sorted array),
-    or ``"engine"`` (cycle-accurate; returns ``(keys, EngineResult)``).
-    ``profiler`` records per-:class:`ScheduleStep` wallclock spans
-    (vectorized backend only); the columnar backend keeps no per-rank
-    values to ``trace``.
+    ``"columnar"`` (structured-array state, in-place view compare-exchange;
+    reaches D_9-D_11), ``"replay"`` (compiled straight-line plan; fastest
+    on repeat runs), or ``"engine"`` (cycle-accurate; returns
+    ``(keys, EngineResult)``).  Capabilities are declared in
+    :mod:`repro.core.backends`: ``profiler`` records
+    per-:class:`ScheduleStep` wallclock spans (vectorized backend only),
+    and a backend without per-rank traces keeps no values to ``trace``.
     """
-    if backend == "columnar":
-        if trace is not None:
-            raise ValueError(
-                "the columnar backend keeps no per-rank values to trace; "
-                "use backend='vectorized' or 'engine' with trace"
-            )
-        if profiler is not None:
-            raise ValueError(
-                "per-step profiling is vectorized-backend only; "
-                "use backend='vectorized' with profiler"
-            )
-        from repro.core.columnar import dual_sort_columnar
+    from repro.core.backends import resolve_backend
 
-        return dual_sort_columnar(
-            rdc,
-            keys,
-            descending=descending,
-            payload_policy=payload_policy,
-            counters=counters,
-        )
-    if backend == "vectorized":
-        return dual_sort_vec(
-            rdc,
-            keys,
-            descending=descending,
-            payload_policy=payload_policy,
-            counters=counters,
-            trace=trace,
-            profiler=profiler,
-        )
-    if backend == "engine":
-        return dual_sort_engine(
-            rdc,
-            keys,
-            descending=descending,
-            payload_policy=payload_policy,
-            trace=trace,
-        )
-    raise ValueError(
-        f"unknown backend {backend!r}; use 'vectorized', 'columnar' or 'engine'"
+    run = resolve_backend(
+        "dual_sort",
+        backend,
+        counters=counters is not None,
+        trace=trace is not None,
+        profiler=profiler is not None,
+    )
+    return run(
+        rdc,
+        keys,
+        descending=descending,
+        payload_policy=payload_policy,
+        counters=counters,
+        trace=trace,
+        profiler=profiler,
     )

@@ -35,7 +35,13 @@ from repro.simulator import CostCounters
 from repro.topology.dualcube import DualCube
 from repro.topology.recursive import RecursiveDualCube
 
-__all__ = ["large_prefix", "large_prefix_engine", "large_sort"]
+__all__ = [
+    "large_prefix",
+    "large_prefix_vec",
+    "large_prefix_engine",
+    "large_sort",
+    "large_sort_vec",
+]
 
 
 def _blocked(values, num_nodes: int) -> tuple[np.ndarray, int]:
@@ -70,32 +76,48 @@ def large_prefix(
     backend: str = "vectorized",
     counters: CostCounters | None = None,
     profiler=None,
+    shards: int | None = None,
 ) -> np.ndarray:
     """Prefix of N = B * 2^(2n-1) values on D_n; returns the full prefix array.
 
     Global index order: node block k (input order) covers indices
     ``[kB, (k+1)B)``.  Communication cost equals plain `D_prefix`.
 
-    ``backend`` selects ``"vectorized"`` or ``"columnar"`` (identical
-    results and counters; the columnar path holds blocks as structured
-    subarray fields and scales to D_9-D_11).  ``profiler`` (a
-    :class:`~repro.obs.profile.PhaseProfiler`) records wallclock spans
-    for the three phases the cost model distinguishes: ``local-prefix``
-    (B-1 local rounds), ``network`` (the diminished `D_prefix` on block
-    totals — the only communicating phase), and ``fold`` (B offset
-    applications).
+    ``backend`` selects ``"vectorized"``, ``"columnar"`` (blocks as
+    structured subarray fields; scales to D_9-D_11), or ``"replay"``
+    (network phase from the compiled `D_prefix` plan; the only backend
+    taking ``shards``) — all with identical results and counters;
+    capabilities are declared in :mod:`repro.core.backends`.
+    ``profiler`` (a :class:`~repro.obs.profile.PhaseProfiler`) records
+    wallclock spans for the three phases the cost model distinguishes:
+    ``local-prefix`` (B-1 local rounds), ``network`` (the diminished
+    `D_prefix` on block totals — the only communicating phase), and
+    ``fold`` (B offset applications).
     """
-    if backend == "columnar":
-        from repro.core.columnar import large_prefix_columnar
+    from repro.core.backends import resolve_backend
 
-        return large_prefix_columnar(
-            dc, values, op, counters=counters, profiler=profiler
-        )
-    if backend != "vectorized":
-        raise ValueError(
-            f"unknown backend {backend!r}; use 'vectorized' or 'columnar' "
-            f"(large_prefix_engine is the cycle-accurate entry point)"
-        )
+    run = resolve_backend(
+        "large_prefix",
+        backend,
+        counters=counters is not None,
+        profiler=profiler is not None,
+        shards=shards is not None,
+    )
+    return run(
+        dc, values, op, counters=counters, profiler=profiler, shards=shards
+    )
+
+
+def large_prefix_vec(
+    dc: DualCube,
+    values,
+    op: AssocOp,
+    *,
+    counters: CostCounters | None = None,
+    profiler=None,
+) -> np.ndarray:
+    """The vectorized blocked prefix (the ``"vectorized"`` backend of
+    :func:`large_prefix`; same phases, counters, and profiler spans)."""
     blocks, b = _blocked(values, dc.num_nodes)
     prof = profiler if profiler is not None else _NULL_PROFILER
 
@@ -214,28 +236,44 @@ def large_sort(
     Keys are indexed by (recursive node address, block offset); the output
     is the globally sorted flat sequence in that same blocked order.
 
-    ``backend`` selects ``"vectorized"`` or ``"columnar"`` (identical
-    results and counters; the columnar path merge-splits through reshape
-    views and scales to D_9-D_11).  ``profiler`` records one wallclock
-    span per merge-split round, named by the round's recursion segment
+    ``backend`` selects ``"vectorized"``, ``"columnar"`` (merge-splits
+    through reshape views; scales to D_9-D_11), or ``"replay"``
+    (compiled-plan permutations and masks) — all with identical results
+    and counters; capabilities are declared in
+    :mod:`repro.core.backends`.  ``profiler`` records one wallclock span
+    per merge-split round, named by the round's recursion segment
     (``step.phase``), plus a ``local-sort`` span for the initial
     per-block sort.
     """
-    if backend == "columnar":
-        from repro.core.columnar import large_sort_columnar
+    from repro.core.backends import resolve_backend
 
-        return large_sort_columnar(
-            rdc,
-            keys,
-            descending=descending,
-            payload_policy=payload_policy,
-            counters=counters,
-            profiler=profiler,
-        )
-    if backend != "vectorized":
-        raise ValueError(
-            f"unknown backend {backend!r}; use 'vectorized' or 'columnar'"
-        )
+    run = resolve_backend(
+        "large_sort",
+        backend,
+        counters=counters is not None,
+        profiler=profiler is not None,
+    )
+    return run(
+        rdc,
+        keys,
+        descending=descending,
+        payload_policy=payload_policy,
+        counters=counters,
+        profiler=profiler,
+    )
+
+
+def large_sort_vec(
+    rdc: RecursiveDualCube,
+    keys,
+    *,
+    descending: bool = False,
+    payload_policy: str = "packed",
+    counters: CostCounters | None = None,
+    profiler=None,
+) -> np.ndarray:
+    """The vectorized blocked sort (the ``"vectorized"`` backend of
+    :func:`large_sort`; same phases, counters, and profiler spans)."""
     if payload_policy not in ("packed", "single"):
         raise ValueError(
             f"payload_policy must be 'packed' or 'single', got {payload_policy!r}"

@@ -36,12 +36,15 @@ from repro.topology.recursive import RecursiveDualCube
 
 __all__ = [
     "BenchRecord",
+    "BenchRegression",
     "run_bench",
     "run_bench_columnar",
+    "run_bench_replay",
     "merge_bench",
     "write_bench",
     "load_bench",
     "compare_bench",
+    "compare_bench_detailed",
     "SCHEMA_VERSION",
 ]
 
@@ -53,6 +56,11 @@ SCHEMA_VERSION = 3
 # simply lack the fields, and ``compare_bench`` only reads the exact-cost
 # fields, so old baselines keep regression-checking new runs.
 _SUPPORTED_SCHEMAS = (1, 2, 3)
+
+# Backends whose records carry the tracemalloc peak-memory column: the
+# ones making a memory claim (columnar's O(nodes) state, replay's
+# compiled-plan buffers).
+_PEAK_MEM_BACKENDS = frozenset({"columnar", "replay"})
 
 # Cost fields that must reproduce exactly between runs (they are
 # deterministic functions of the algorithm, not the machine).  The fault
@@ -163,35 +171,48 @@ def _peak_mem_mb(fn: Callable[[], object]) -> float:
     return peak / (1024 * 1024)
 
 
-def _bench_dual_prefix(n: int, backend: str, rng, repeats: int) -> BenchRecord:
+def _bench_dual_prefix(
+    n: int, backend: str, rng, repeats: int, shards: int | None = None
+) -> BenchRecord:
     dc = DualCube(n)
     vals = rng.integers(0, 1000, dc.num_nodes)
 
-    if backend == "vectorized":
+    def run_vectorized() -> CostCounters:
+        counters = CostCounters(dc.num_nodes)
+        dual_prefix_vec(dc, vals, ADD, counters=counters)
+        return counters
 
-        def run() -> CostCounters:
-            counters = CostCounters(dc.num_nodes)
-            dual_prefix_vec(dc, vals, ADD, counters=counters)
-            return counters
-
-    elif backend == "columnar":
+    def run_columnar() -> CostCounters:
         from repro.core.columnar import dual_prefix_columnar
 
-        def run() -> CostCounters:
-            counters = CostCounters(dc.num_nodes)
-            dual_prefix_columnar(dc, vals, ADD, counters=counters)
-            return counters
+        counters = CostCounters(dc.num_nodes)
+        dual_prefix_columnar(dc, vals, ADD, counters=counters)
+        return counters
 
-    else:
+    def run_replay() -> CostCounters:
+        from repro.core.replay import dual_prefix_replay
 
-        def run() -> CostCounters:
-            _, result = dual_prefix_engine(dc, vals, ADD)
-            return result.counters
+        counters = CostCounters(dc.num_nodes)
+        dual_prefix_replay(dc, vals, ADD, counters=counters, shards=shards)
+        return counters
 
+    def run_engine() -> CostCounters:
+        _, result = dual_prefix_engine(dc, vals, ADD)
+        return result.counters
+
+    run = {
+        "vectorized": run_vectorized,
+        "columnar": run_columnar,
+        "replay": run_replay,
+        "engine": run_engine,
+    }[backend]
     wall, counters = _time_best(run, repeats)
-    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
+    peak = _peak_mem_mb(run) if backend in _PEAK_MEM_BACKENDS else 0.0
+    # A sharded replay run gets its own backend label so the record keys
+    # (and regression baselines) stay distinct from the in-process row.
+    label = f"{backend}-sharded" if shards else backend
     return _from_counters(
-        "dual_prefix", backend, n, dc.num_nodes, wall, counters,
+        "dual_prefix", label, n, dc.num_nodes, wall, counters,
         peak_mem_mb=peak,
     )
 
@@ -201,31 +222,40 @@ def _bench_dual_sort(n: int, backend: str, rng, repeats: int) -> BenchRecord:
     keys = rng.permutation(rdc.num_nodes)
 
     phase_box: dict = {}
-    if backend == "vectorized":
 
-        def run() -> CostCounters:
-            counters = CostCounters(rdc.num_nodes)
-            prof = PhaseProfiler()
-            dual_sort_vec(rdc, keys, counters=counters, profiler=prof)
-            phase_box.update(prof.totals())
-            return counters
+    def run_vectorized() -> CostCounters:
+        counters = CostCounters(rdc.num_nodes)
+        prof = PhaseProfiler()
+        dual_sort_vec(rdc, keys, counters=counters, profiler=prof)
+        phase_box.update(prof.totals())
+        return counters
 
-    elif backend == "columnar":
+    def run_columnar() -> CostCounters:
         from repro.core.columnar import dual_sort_columnar
 
-        def run() -> CostCounters:
-            counters = CostCounters(rdc.num_nodes)
-            dual_sort_columnar(rdc, keys, counters=counters)
-            return counters
+        counters = CostCounters(rdc.num_nodes)
+        dual_sort_columnar(rdc, keys, counters=counters)
+        return counters
 
-    else:
+    def run_replay() -> CostCounters:
+        from repro.core.replay import dual_sort_replay
 
-        def run() -> CostCounters:
-            _, result = dual_sort_engine(rdc, keys)
-            return result.counters
+        counters = CostCounters(rdc.num_nodes)
+        dual_sort_replay(rdc, keys, counters=counters)
+        return counters
 
+    def run_engine() -> CostCounters:
+        _, result = dual_sort_engine(rdc, keys)
+        return result.counters
+
+    run = {
+        "vectorized": run_vectorized,
+        "columnar": run_columnar,
+        "replay": run_replay,
+        "engine": run_engine,
+    }[backend]
     wall, counters = _time_best(run, repeats)
-    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
+    peak = _peak_mem_mb(run) if backend in _PEAK_MEM_BACKENDS else 0.0
     return _from_counters(
         "dual_sort", backend, n, rdc.num_nodes, wall, counters, phase_box,
         peak_mem_mb=peak,
@@ -250,7 +280,7 @@ def _bench_large_prefix(
         return counters
 
     wall, counters = _time_best(run, repeats)
-    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
+    peak = _peak_mem_mb(run) if backend in _PEAK_MEM_BACKENDS else 0.0
     return _from_counters(
         f"large_prefix_b{block}", backend, n, dc.num_nodes, wall, counters,
         phase_box, peak_mem_mb=peak,
@@ -275,7 +305,7 @@ def _bench_large_sort(
         return counters
 
     wall, counters = _time_best(run, repeats)
-    peak = _peak_mem_mb(run) if backend == "columnar" else 0.0
+    peak = _peak_mem_mb(run) if backend in _PEAK_MEM_BACKENDS else 0.0
     return _from_counters(
         f"large_sort_b{block}", backend, n, rdc.num_nodes, wall, counters,
         phase_box, peak_mem_mb=peak,
@@ -480,6 +510,61 @@ def run_bench_columnar(
     }
 
 
+def run_bench_replay(
+    *,
+    max_n: int = 5,
+    repeats: int = 3,
+    smoke: bool = False,
+    seed: int = 0,
+    block: int = 8,
+    shards: int = 4,
+) -> dict:
+    """Run the replay-backend suite and return the JSON-ready payload.
+
+    Sweeps the four algorithm benches on the compiled-plan replay backend
+    for n = 2..``max_n``.  Because ``_time_best`` reuses one closure across
+    repeats, the first repeat pays plan compilation and the rest hit the
+    plan cache — exactly the repeat-run scenario replay optimizes, and the
+    regime where it should beat the vectorized rows at n >= 4.  One extra
+    sharded dual_prefix row (backend ``replay-sharded``, ``shards``
+    workers) runs at n = 9 on a full sweep so the multiprocessing path is
+    exercised at D_9 scale; ``smoke`` caps the sweep at n = 3, single
+    repeat, and runs the sharded row at the cap instead (the CI wiring
+    check behind ``make bench-replay-smoke``).
+    """
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    if smoke:
+        max_n = min(max_n, 3)
+        repeats = 1
+
+    records: list[BenchRecord] = []
+    for n in range(2, max_n + 1):
+        rng = np.random.default_rng(seed + n)
+        records.append(_bench_dual_prefix(n, "replay", rng, repeats))
+        records.append(_bench_dual_sort(n, "replay", rng, repeats))
+        records.append(_bench_large_prefix(n, block, rng, repeats, "replay"))
+        records.append(_bench_large_sort(n, block, rng, repeats, "replay"))
+
+    sharded_n = max_n if smoke else 9
+    rng = np.random.default_rng(seed + sharded_n)
+    records.append(
+        _bench_dual_prefix(sharded_n, "replay", rng, repeats, shards=shards)
+    )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "replay",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "seed": seed,
+        "records": [asdict(r) for r in records],
+    }
+
+
 def merge_bench(base: dict, new: dict) -> dict:
     """Merge two bench payloads into one document.
 
@@ -518,12 +603,36 @@ def load_bench(path: str | Path) -> dict:
     return payload
 
 
-def compare_bench(
-    current: dict, previous: dict, *, wall_factor: float = 1.5
-) -> list[str]:
-    """Regression-check ``current`` against ``previous``.
+@dataclass(frozen=True)
+class BenchRegression:
+    """One regression vs a baseline, naming exactly what moved.
 
-    Returns a list of human-readable problems (empty = clean):
+    ``field`` is the offending counter name (one of the exact-cost
+    fields), ``"wall_s"`` for a wallclock regression, or ``"record"``
+    when the whole record disappeared; ``baseline``/``current`` carry the
+    two values so callers can report the delta without re-parsing the
+    message.  ``str()`` renders the human-readable line ``repro bench
+    --compare`` prints.
+    """
+
+    bench: str
+    backend: str
+    n: int
+    field: str
+    baseline: object
+    current: object
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def compare_bench_detailed(
+    current: dict, previous: dict, *, wall_factor: float = 1.5
+) -> list[BenchRegression]:
+    """Regression-check ``current`` against ``previous``, structured.
+
+    Returns one :class:`BenchRegression` per problem (empty = clean):
 
     * any cost-counter field differing on a shared (bench, backend, n)
       key — these are deterministic, so a difference is a semantic change;
@@ -537,26 +646,54 @@ def compare_bench(
     cur = {(r["bench"], r["backend"], r["n"]): r for r in current["records"]}
     prev = {(r["bench"], r["backend"], r["n"]): r for r in previous["records"]}
 
-    problems: list[str] = []
+    problems: list[BenchRegression] = []
     for key in sorted(prev):
-        label = "{}/{} n={}".format(*key)
+        bench, backend, n = key
+        label = f"{bench}/{backend} n={n}"
         if key not in cur:
-            problems.append(f"{label}: record disappeared from current run")
+            problems.append(
+                BenchRegression(
+                    bench, backend, n, "record", prev[key], None,
+                    f"{label}: record disappeared from current run",
+                )
+            )
             continue
         c, p = cur[key], prev[key]
-        for field in _EXACT_FIELDS:
+        for name in _EXACT_FIELDS:
             # .get: bench files written before the fault counters existed
             # lack the new fields; treat absent as 0 rather than KeyError.
-            cv, pv = c.get(field, 0), p.get(field, 0)
+            cv, pv = c.get(name, 0), p.get(name, 0)
             if cv != pv:
                 problems.append(
-                    f"{label}: {field} changed {pv} -> {cv} "
-                    f"(cost counters must reproduce exactly)"
+                    BenchRegression(
+                        bench, backend, n, name, pv, cv,
+                        f"{label}: {name} changed {pv} -> {cv} "
+                        f"(cost counters must reproduce exactly)",
+                    )
                 )
         if p["wall_s"] > 0 and c["wall_s"] > p["wall_s"] * wall_factor:
             problems.append(
-                f"{label}: wallclock regressed "
-                f"{p['wall_s']:.6f}s -> {c['wall_s']:.6f}s "
-                f"(> {wall_factor:.2f}x)"
+                BenchRegression(
+                    bench, backend, n, "wall_s", p["wall_s"], c["wall_s"],
+                    f"{label}: wallclock regressed "
+                    f"{p['wall_s']:.6f}s -> {c['wall_s']:.6f}s "
+                    f"(> {wall_factor:.2f}x)",
+                )
             )
     return problems
+
+
+def compare_bench(
+    current: dict, previous: dict, *, wall_factor: float = 1.5
+) -> list[str]:
+    """Regression-check ``current`` against ``previous``.
+
+    The human-readable view of :func:`compare_bench_detailed` — one
+    rendered line per regression, empty list when clean.
+    """
+    return [
+        str(r)
+        for r in compare_bench_detailed(
+            current, previous, wall_factor=wall_factor
+        )
+    ]

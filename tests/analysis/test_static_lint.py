@@ -148,6 +148,7 @@ class TestPaths:
     def test_rules_documented(self):
         assert set(LINT_RULES) == {
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007",
         }
         assert all(desc for desc in LINT_RULES.values())
 
@@ -217,3 +218,58 @@ class TestRep006PerRankLoop:
             with open(path, encoding="utf-8") as fh:
                 assert "# repro: columnar-hot-path" in fh.read()
             assert lint_file(path) == []
+
+
+class TestRep007BackendCompare:
+    def test_name_eq_fires(self):
+        src = "def _f(backend):\n    if backend == 'engine':\n        pass\n"
+        found = lint_source(src, "m.py")
+        assert "REP007" in codes(found)
+        (v,) = [v for v in found if v.code == "REP007"]
+        assert "'engine'" in v.message
+        assert "resolve_backend" in v.message
+
+    def test_attribute_eq_fires(self):
+        src = "def _f(args):\n    if args.backend == 'columnar':\n        pass\n"
+        assert "REP007" in codes(lint_source(src, "m.py"))
+
+    def test_not_eq_fires(self):
+        src = "def _f(backend):\n    if backend != 'vectorized':\n        pass\n"
+        assert "REP007" in codes(lint_source(src, "m.py"))
+
+    def test_reversed_operands_fire(self):
+        src = "def _f(backend):\n    if 'engine' == backend:\n        pass\n"
+        assert "REP007" in codes(lint_source(src, "m.py"))
+
+    def test_membership_test_is_the_sanctioned_idiom(self):
+        src = (
+            "def _f(backend):\n"
+            "    if backend in ('columnar', 'replay'):\n        pass\n"
+        )
+        assert "REP007" not in codes(lint_source(src, "m.py"))
+
+    def test_other_names_not_flagged(self):
+        src = "def _f(mode):\n    if mode == 'engine':\n        pass\n"
+        assert "REP007" not in codes(lint_source(src, "m.py"))
+
+    def test_non_string_compare_not_flagged(self):
+        src = "def _f(backend):\n    if backend == 3:\n        pass\n"
+        assert "REP007" not in codes(lint_source(src, "m.py"))
+
+    def test_registry_module_exempt(self):
+        src = "def _f(backend):\n    if backend == 'engine':\n        pass\n"
+        assert lint_source(src, "src/repro/core/backends.py") == []
+        # Only the registry module itself, not everything under core/.
+        assert "REP007" in codes(
+            lint_source(src, "src/repro/core/dual_prefix.py")
+        )
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def _f(backend):\n"
+            "    if backend == 'engine':  # noqa: REP007\n        pass\n"
+        )
+        assert "REP007" not in codes(lint_source(src, "m.py"))
+
+    def test_rule_is_documented(self):
+        assert "REP007" in LINT_RULES

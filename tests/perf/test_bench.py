@@ -266,6 +266,115 @@ class TestColumnarBench:
             run_bench_columnar(max_n=1)
 
 
+class TestCompareBenchDetailed:
+    def test_counter_regression_names_field_and_values(self, smoke_payload):
+        from repro.perf import compare_bench_detailed
+
+        current = copy.deepcopy(smoke_payload)
+        current["records"][0]["messages"] += 7
+        (reg,) = compare_bench_detailed(current, smoke_payload)
+        base = smoke_payload["records"][0]
+        assert reg.field == "messages"
+        assert reg.baseline == base["messages"]
+        assert reg.current == base["messages"] + 7
+        assert (reg.bench, reg.backend, reg.n) == (
+            base["bench"], base["backend"], base["n"],
+        )
+        assert str(reg) in compare_bench(current, smoke_payload)
+
+    def test_wallclock_regression_field(self, smoke_payload):
+        from repro.perf import compare_bench_detailed
+
+        current = copy.deepcopy(smoke_payload)
+        current["records"][0]["wall_s"] = smoke_payload["records"][0]["wall_s"] * 10
+        (reg,) = compare_bench_detailed(current, smoke_payload)
+        assert reg.field == "wall_s"
+        assert reg.current == pytest.approx(reg.baseline * 10)
+
+    def test_disappeared_record_field(self, smoke_payload):
+        from repro.perf import compare_bench_detailed
+
+        current = copy.deepcopy(smoke_payload)
+        current["records"].pop()
+        (reg,) = compare_bench_detailed(current, smoke_payload)
+        assert reg.field == "record"
+        assert reg.current is None
+
+    def test_string_view_delegates(self, smoke_payload):
+        from repro.perf import compare_bench_detailed
+
+        current = copy.deepcopy(smoke_payload)
+        current["records"][0]["comm_steps"] += 1
+        current["records"][1]["wall_s"] *= 100
+        assert compare_bench(current, smoke_payload) == [
+            str(r) for r in compare_bench_detailed(current, smoke_payload)
+        ]
+
+
+class TestReplayBench:
+    @pytest.fixture(scope="class")
+    def replay_payload(self):
+        from repro.perf import run_bench_replay
+
+        return run_bench_replay(smoke=True, max_n=2, shards=2)
+
+    def test_smoke_suite_shape(self, replay_payload):
+        assert replay_payload["suite"] == "replay"
+        assert replay_payload["schema"] == SCHEMA_VERSION
+        assert {r["n"] for r in replay_payload["records"]} == {2}
+        benches = {(r["bench"], r["backend"]) for r in replay_payload["records"]}
+        assert benches == {
+            ("dual_prefix", "replay"),
+            ("dual_sort", "replay"),
+            ("large_prefix_b8", "replay"),
+            ("large_sort_b8", "replay"),
+            ("dual_prefix", "replay-sharded"),
+        }
+
+    def test_counters_match_core_suite(self, replay_payload, smoke_payload):
+        # Replay rows (sharded included) must be cost-identical to the
+        # vectorized rows of the core suite at the same (bench, n).
+        core = {
+            (r["bench"], r["n"]): r
+            for r in smoke_payload["records"]
+            if r["backend"] == "vectorized"
+        }
+        for r in replay_payload["records"]:
+            base = core[(r["bench"], r["n"])]
+            for f in _EXACT_FIELDS:
+                assert r[f] == base[f], (r["bench"], r["backend"], f)
+
+    def test_records_carry_peak_memory(self, replay_payload):
+        for r in replay_payload["records"]:
+            assert r["peak_mem_mb"] > 0
+
+    def test_max_n_validated(self):
+        from repro.perf import run_bench_replay
+
+        with pytest.raises(ValueError, match="max_n"):
+            run_bench_replay(max_n=1)
+
+
+class TestReplayCli:
+    def test_bench_backend_replay_smoke_gates_against_itself(self, tmp_path):
+        out = tmp_path / "br.json"
+        assert main(
+            ["bench", "--backend", "replay", "--smoke", "--max-n", "2",
+             "--out", str(out)]
+        ) == 0
+        assert load_bench(out)["suite"] == "replay"
+        # Second run compares against the file it is about to overwrite;
+        # counters are deterministic, so this must gate clean (the
+        # make bench-replay-smoke idiom).
+        assert main(
+            ["bench", "--backend", "replay", "--smoke", "--max-n", "2",
+             "--out", str(out), "--compare", str(out), "--wall-factor", "50"]
+        ) == 0
+
+    def test_faults_flag_rejected_for_replay(self):
+        assert main(["bench", "--backend", "replay", "--faults"]) == 2
+
+
 class TestMergeBench:
     def test_merge_keeps_disjoint_and_overwrites_collisions(self):
         from repro.perf import merge_bench
