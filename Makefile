@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench bench-columnar bench-replay
+.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke bench bench-columnar bench-replay bench-serving
 
 ## check: tier-1 tests + static analysis + timeline/bench smoke runs (what CI gates on)
-check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke
+check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,14 @@ bench-replay-smoke:
 		--out BENCH_replay_smoke.json --compare BENCH_replay_smoke.json \
 		--wall-factor 20
 
+## bench-serving-smoke: open-loop queueing scenarios at n=2, deterministic
+## serving counters regression-gated against the committed baseline (wide
+## wall factor — only the counters are meaningful gates on CI machines)
+bench-serving-smoke:
+	$(PYTHON) -m repro bench --backend serving --smoke \
+		--out BENCH_serving_smoke.json --compare BENCH_serving_smoke.json \
+		--wall-factor 20
+
 ## bench: full sweep, refreshes BENCH_core.json at the repo root
 bench:
 	$(PYTHON) -m repro bench
@@ -55,3 +63,7 @@ bench-columnar:
 ## bench-replay: replay sweep (plus sharded D_9 row), merged into BENCH_core.json
 bench-replay:
 	$(PYTHON) -m repro bench --backend replay
+
+## bench-serving: full serving scenario sweep, merged into BENCH_core.json
+bench-serving:
+	$(PYTHON) -m repro bench --backend serving

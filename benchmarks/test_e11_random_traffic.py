@@ -27,7 +27,10 @@ from repro.topology.metrics import average_distance
 
 from benchmarks._util import emit
 
-HEADERS = ["network", "pairs", "avg hops", "max link load", "imbalance", "loaded links", "links"]
+HEADERS = [
+    "network", "pairs", "avg hops", "max link load", "imbalance",
+    "loaded links", "links", "retrans", "path hops",
+]
 
 
 def traffic_rows(n: int, num_pairs: int, seed: int = 0):

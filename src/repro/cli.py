@@ -145,7 +145,7 @@ def _cmd_traffic(args) -> int:
     stats_q = run_traffic(cube, hypercube_dimension_order_path, pairs)
     print(
         format_table(
-            ["network", "pairs", "avg hops", "max link load", "imbalance", "loaded links", "links"],
+            ["network", "pairs", "avg hops", "max link load", "imbalance", "loaded links", "links", "retrans", "path hops"],
             [stats_d.row(), stats_q.row()],
             title=f"Random traffic, {args.pairs} pairs",
         )
@@ -208,11 +208,12 @@ def _cmd_bench(args) -> int:
         run_bench,
         run_bench_columnar,
         run_bench_replay,
+        run_bench_serving,
         write_bench,
     )
 
     backend = args.backend
-    if backend in ("columnar", "replay") and args.faults:
+    if backend in ("columnar", "replay", "serving") and args.faults:
         print("--faults is the core suite only (engine-backed scenarios)")
         return 2
     suites = {
@@ -224,6 +225,12 @@ def _cmd_bench(args) -> int:
         ),
         "replay": lambda: run_bench_replay(
             max_n=args.max_n if args.max_n is not None else 5,
+            repeats=args.repeats,
+            smoke=args.smoke,
+            seed=args.seed,
+        ),
+        "serving": lambda: run_bench_serving(
+            max_n=args.max_n if args.max_n is not None else 4,
             repeats=args.repeats,
             smoke=args.smoke,
             seed=args.seed,
@@ -266,6 +273,7 @@ def _cmd_bench(args) -> int:
         default_out = {
             "columnar": "BENCH_columnar_smoke.json",
             "replay": "BENCH_replay_smoke.json",
+            "serving": "BENCH_serving_smoke.json",
             "core": "BENCH_smoke.json",
         }[backend]
     else:
@@ -283,9 +291,13 @@ def _cmd_bench(args) -> int:
         else:
             print(f"no baseline at {args.compare}; recording a fresh one")
 
-    if backend in ("columnar", "replay") and not args.smoke and Path(out).exists():
-        # A full columnar or replay sweep lands next to the core suite's
-        # records instead of clobbering them.
+    if (
+        backend in ("columnar", "replay", "serving")
+        and not args.smoke
+        and Path(out).exists()
+    ):
+        # A full columnar, replay or serving sweep lands next to the core
+        # suite's records instead of clobbering them.
         payload = merge_bench(load_bench(out), payload)
     path = write_bench(payload, out)
     print(f"wrote {path} ({len(payload['records'])} records)")
@@ -300,6 +312,121 @@ def _cmd_bench(args) -> int:
                 print(f"  - {p}")
             return 1
         print(f"no regressions vs {args.compare}")
+    return 0
+
+
+def _serve_workload(topo, arrival: str, rate: float, requests: int, seed: int):
+    from repro.simulator.serving import (
+        deterministic_arrivals,
+        onoff_arrivals,
+        open_loop_pairs,
+        poisson_arrivals,
+    )
+
+    total_rate = rate * topo.num_nodes
+    make = {
+        "poisson": lambda: poisson_arrivals(total_rate, requests, seed),
+        "deterministic": lambda: deterministic_arrivals(total_rate, requests),
+        "bursty": lambda: onoff_arrivals(total_rate, requests, seed),
+    }[arrival]
+    return make(), open_loop_pairs(topo, requests, seed)
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import TimelineRecorder
+    from repro.simulator import FaultPlan
+    from repro.simulator.serving import (
+        ServingConfig,
+        bfs_router,
+        find_saturation,
+        registry_from_serving,
+        run_serving,
+    )
+    from repro.topology import Metacube
+    from repro.viz.ascii_art import render_timeline_heatmap
+
+    n = args.n
+    dc = DualCube(n)
+    cube = Hypercube(2 * n - 1)
+    networks: list[tuple] = [
+        (dc, lambda u, v: route(dc, u, v)),
+        (cube, hypercube_dimension_order_path),
+    ]
+    if args.metacube and n >= 3:
+        # MC(2, n-2) matches the dual-cube's degree (n) at a comparable
+        # size — the authors' generalized family joining the comparison.
+        mc = Metacube(2, n - 2)
+        networks.append((mc, bfs_router(mc)))
+
+    if args.sweep:
+        rows = []
+        for topo, router in networks:
+            sat = find_saturation(
+                topo,
+                router,
+                seed=args.seed,
+                requests=args.requests,
+                service_time=args.service_time,
+            )
+            rows.append(sat.row())
+        print(
+            format_table(
+                ["network", "knee rate/node", "diverged at", "base p99", "threshold", "probes"],
+                rows,
+                title=(
+                    f"Saturation sweep (p99 knee), fixed window, "
+                    f">= {args.requests} requests per probe"
+                ),
+            )
+        )
+        return 0
+
+    plan = None
+    if args.drop_rate > 0:
+        plan = FaultPlan(drop_rate=args.drop_rate, seed=args.seed, max_retries=200)
+    config = ServingConfig(
+        service_time=args.service_time,
+        queue_capacity=args.capacity,
+        policy=args.policy,
+        deadline=args.deadline,
+        horizon=args.horizon,
+    )
+    rows = []
+    registry = None
+    for topo, router in networks:
+        arrivals, pairs = _serve_workload(
+            topo, args.arrival, args.rate, args.requests, args.seed
+        )
+        recorder = TimelineRecorder(num_nodes=topo.num_nodes)
+        stats = run_serving(
+            topo, router, arrivals, pairs,
+            config=config, fault_plan=plan, timeline=recorder,
+        )
+        rows.append(stats.row())
+        # One registry for all networks: registry_from_serving labels every
+        # series by topology, so the export stays one valid document.
+        registry = registry_from_serving(stats, registry=registry)
+        if args.heatmap:
+            print(f"\n{topo.name} queue activity:")
+            print(render_timeline_heatmap(recorder, max_links=args.heatmap_links))
+    print(
+        format_table(
+            ["network", "arrivals", "completed", "drops", "misses", "p50", "p99", "p999", "goodput", "util"],
+            rows,
+            title=(
+                f"Open-loop serving: {args.arrival} arrivals, "
+                f"{args.rate}/node/t, {args.requests} requests"
+            ),
+        )
+    )
+    if args.export_jsonl:
+        Path(args.export_jsonl).write_text(registry.to_jsonlines())
+        print(f"wrote {args.export_jsonl}")
+    if args.export_prom:
+        Path(args.export_prom).write_text(registry.to_prometheus())
+        print(f"wrote {args.export_prom}")
     return 0
 
 
@@ -515,6 +642,53 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(fn=_cmd_traffic)
 
+    sp = sub.add_parser(
+        "serve",
+        help="open-loop queueing simulation vs hypercube (tail latency, saturation)",
+    )
+    sp.add_argument("-n", type=int, default=3)
+    sp.add_argument(
+        "--arrival", choices=["poisson", "deterministic", "bursty"],
+        default="poisson",
+    )
+    sp.add_argument(
+        "--rate", type=float, default=0.3,
+        help="per-node arrival rate (requests per node per service unit)",
+    )
+    sp.add_argument("--requests", type=int, default=2000)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--service-time", type=float, default=1.0)
+    sp.add_argument(
+        "--capacity", type=int, default=None,
+        help="per-link waiting-buffer capacity (default: unbounded)",
+    )
+    sp.add_argument("--policy", choices=["drop", "block"], default="drop")
+    sp.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request sojourn budget; finishing later counts as a miss",
+    )
+    sp.add_argument(
+        "--horizon", type=float, default=None,
+        help="stop the clock here; unfinished requests count as in-flight",
+    )
+    sp.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="FaultPlan drop probability per hop crossing (seeded, forces retransmits)",
+    )
+    sp.add_argument(
+        "--sweep", action="store_true",
+        help="bisect offered load to each network's p99 saturation knee (E18)",
+    )
+    sp.add_argument(
+        "--metacube", action="store_true",
+        help="add MC(2, n-2) to the comparison (same degree as D_n; needs n >= 3)",
+    )
+    sp.add_argument("--heatmap", action="store_true", help="render per-link queue activity")
+    sp.add_argument("--heatmap-links", type=int, default=64)
+    sp.add_argument("--export-jsonl", default=None, metavar="PATH")
+    sp.add_argument("--export-prom", default=None, metavar="PATH")
+    sp.set_defaults(fn=_cmd_serve)
+
     sp = sub.add_parser("hamiltonian", help="Hamiltonian cycle / ring embedding")
     sp.add_argument("-n", type=int, default=3)
     sp.add_argument("--show", type=int, default=16)
@@ -533,14 +707,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--repeats", type=int, default=3, help="wallclock best-of repeats")
     sp.add_argument(
-        "--backend", choices=["core", "columnar", "replay"], default="core",
+        "--backend", choices=["core", "columnar", "replay", "serving"],
+        default="core",
         help="core = vectorized+engine suite; columnar = structured-array "
              "backend sweep to D_11; replay = compiled-plan backend sweep "
-             "plus one sharded row (full runs merge into BENCH_core.json)",
+             "plus one sharded row; serving = open-loop queueing scenarios "
+             "(full runs merge into BENCH_core.json)",
     )
     sp.add_argument(
         "--smoke", action="store_true",
-        help="quick wiring check (core/replay: n<=3, 1 repeat; columnar: n=9 only)",
+        help="quick wiring check (core/replay: n<=3, serving: n=2, 1 repeat; "
+             "columnar: n=9 only)",
     )
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument(

@@ -2,8 +2,9 @@
 
 Times the library's headline algorithms — `D_prefix`, `D_sort`, the
 blocked large-input variants, and the random-traffic experiment — across
-their backends (vectorized, engine, columnar, compiled replay) and a
-range of network sizes, and writes a machine-readable
+their backends (vectorized, engine, columnar, compiled replay), the
+open-loop serving scenarios, and a range of network sizes, and writes a
+machine-readable
 ``BENCH_core.json`` so every change leaves a measured perf trajectory
 behind (wallclock, comm/comp steps, messages, peak payload).
 ``compare_bench`` turns two such files into a regression check: cost
@@ -23,6 +24,7 @@ from repro.perf.bench import (
     run_bench,
     run_bench_columnar,
     run_bench_replay,
+    run_bench_serving,
     write_bench,
 )
 
@@ -36,5 +38,6 @@ __all__ = [
     "run_bench",
     "run_bench_columnar",
     "run_bench_replay",
+    "run_bench_serving",
     "write_bench",
 ]

@@ -29,6 +29,13 @@ from repro.core.ops import ADD
 from repro.core.run_faulty import run_faulty
 from repro.routing.dualcube_routing import route
 from repro.simulator import CostCounters, FaultPlan
+from repro.simulator.serving import (
+    ServingConfig,
+    onoff_arrivals,
+    open_loop_pairs,
+    poisson_arrivals,
+    run_serving,
+)
 from repro.simulator.traffic import random_pairs, run_traffic
 from repro.topology.dualcube import DualCube
 from repro.topology.faults import FaultSet
@@ -40,6 +47,7 @@ __all__ = [
     "run_bench",
     "run_bench_columnar",
     "run_bench_replay",
+    "run_bench_serving",
     "merge_bench",
     "write_bench",
     "load_bench",
@@ -400,6 +408,138 @@ def _bench_fault_traffic(n: int, pairs_per_node: int, rng, repeats: int) -> Benc
 
     wall, counters = _time_best(run, repeats)
     return _from_counters("fault_traffic", "router", n, dc.num_nodes, wall, counters)
+
+
+# The serving scenario family (``repro bench --backend serving``).  Every
+# scenario is a fixed seeded workload, so its ServingStats — and therefore
+# the counter mapping below — reproduce exactly and regression-check like
+# any other record:
+#
+#   messages         = hops_served       (physical crossings, retransmits in)
+#   payload_items    = path_hops         (logical crossings)
+#   retries          = retransmissions + blocked backpressure re-offers
+#   messages_dropped = fault-plan losses + queue/retry-limit request drops
+#   timeouts         = deadline misses
+_SERVE_RATE = 0.3  # per-node Poisson rate: ~27% of the D_3 saturation knee
+_SERVE_DROP_PLAN = dict(drop_rate=0.05, seed=7, max_retries=200)
+
+
+def _serving_counters(num_nodes: int, stats) -> CostCounters:
+    counters = CostCounters(num_nodes)
+    counters.messages = stats.hops_served
+    counters.payload_items = stats.path_hops
+    counters.max_message_payload = 1 if stats.arrivals else 0
+    counters.retries = stats.retransmissions + stats.blocked_retries
+    counters.messages_dropped = stats.retransmissions + stats.drops
+    counters.timeouts = stats.deadline_misses
+    return counters
+
+
+def _bench_serving(
+    bench: str,
+    n: int,
+    requests: int,
+    seed: int,
+    repeats: int,
+    *,
+    arrival: str = "poisson",
+    rate_scale: float = 1.0,
+    config: ServingConfig | None = None,
+    plan: FaultPlan | None = None,
+) -> BenchRecord:
+    dc = DualCube(n)
+    rate = _SERVE_RATE * rate_scale * dc.num_nodes
+    if arrival == "poisson":
+        arrivals = poisson_arrivals(rate, requests, seed)
+    else:
+        arrivals = onoff_arrivals(rate, requests, seed)
+    pairs = open_loop_pairs(dc, requests, seed)
+
+    def run() -> CostCounters:
+        stats = run_serving(
+            dc,
+            lambda u, v: route(dc, u, v),
+            arrivals,
+            pairs,
+            config=config,
+            fault_plan=plan,
+        )
+        return _serving_counters(dc.num_nodes, stats)
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters(bench, "serving", n, dc.num_nodes, wall, counters)
+
+
+def run_bench_serving(
+    *,
+    max_n: int = 4,
+    repeats: int = 3,
+    smoke: bool = False,
+    seed: int = 0,
+    requests_per_node: int = 20,
+) -> dict:
+    """Run the serving suite and return the JSON-ready payload.
+
+    Sweeps an open-loop Poisson workload at a fixed sub-saturation
+    per-node rate over D_2..D_``max_n``, plus three fixed-size scenario
+    rows: bursty on/off arrivals, a finite-capacity run with deadlines
+    (drops and misses exercised), and the seeded 5%-drop fault plan
+    disturbing the live queues (retransmissions exercised).  ``smoke``
+    caps the sweep at n = 2 with one repeat — the CI wiring check behind
+    ``make bench-serving-smoke``.
+    """
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    if smoke:
+        max_n = 2
+        repeats = 1
+
+    records: list[BenchRecord] = []
+    for n in range(2, max_n + 1):
+        requests = requests_per_node * DualCube(n).num_nodes
+        records.append(
+            _bench_serving("serve_poisson", n, requests, seed + n, repeats)
+        )
+
+    # Scenario rows at one fixed size.  Bursty carries a deadline (the
+    # bursts make the tail miss it), and the capacity row runs overloaded
+    # with a one-slot buffer, so each row's counter fingerprint actually
+    # exercises its machinery — misses, drops — rather than reproducing
+    # the poisson row's hop totals.
+    sn = min(3, max_n)
+    requests = requests_per_node * DualCube(sn).num_nodes
+    records.append(
+        _bench_serving(
+            "serve_bursty", sn, requests, seed + sn, repeats,
+            arrival="bursty",
+            config=ServingConfig(deadline=15.0),
+        )
+    )
+    records.append(
+        _bench_serving(
+            "serve_capacity", sn, requests, seed + sn, repeats,
+            rate_scale=6.0,
+            config=ServingConfig(queue_capacity=1, deadline=12.0),
+        )
+    )
+    records.append(
+        _bench_serving(
+            "serve_fault", sn, requests, seed + sn, repeats,
+            plan=FaultPlan(**_SERVE_DROP_PLAN),
+        )
+    )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "serving",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "seed": seed,
+        "records": [asdict(r) for r in records],
+    }
 
 
 def run_bench(

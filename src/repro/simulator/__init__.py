@@ -35,6 +35,13 @@ from repro.simulator.columnar import (
 )
 from repro.simulator.faults import FAULTED, FaultPlan
 from repro.simulator.message import Message
+from repro.simulator.serving import (
+    ServingConfig,
+    ServingStats,
+    SaturationResult,
+    run_serving,
+    find_saturation,
+)
 from repro.simulator.node import NodeCtx
 from repro.simulator.trace import TraceRecorder
 from repro.simulator.engine import (
@@ -56,6 +63,11 @@ __all__ = [
     "RequestTimeoutError",
     "FAULTED",
     "FaultPlan",
+    "ServingConfig",
+    "ServingStats",
+    "SaturationResult",
+    "run_serving",
+    "find_saturation",
     "Send",
     "Recv",
     "SendRecv",

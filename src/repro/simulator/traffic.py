@@ -79,7 +79,13 @@ class TrafficStats:
         return self.max_link_load / overall_mean if overall_mean else 0.0
 
     def row(self) -> tuple:
-        """Tuple for table rendering."""
+        """Tuple for table rendering.
+
+        Includes ``retransmissions`` and ``path_hops`` (appended, so
+        positional consumers of the original seven columns keep working):
+        without them a fault run's table rendered identically to the
+        fault-free one, hiding the very effect the fault plan injects.
+        """
         return (
             self.topology,
             self.num_pairs,
@@ -88,6 +94,8 @@ class TrafficStats:
             round(self.load_imbalance, 3),
             self.loaded_links,
             self.num_links,
+            self.retransmissions,
+            self.path_hops,
         )
 
 
@@ -116,7 +124,10 @@ def random_pairs(
     attempts_left = 100 * count + 100
     while len(out) < count:
         if attempts_left <= 0:
-            raise RuntimeError(
+            # ValueError, not RuntimeError: library input/usage errors raise
+            # ValueError throughout (the PR 4 convention) — a pathological
+            # rng is a caller-supplied input like any other.
+            raise ValueError(
                 f"rejection sampling exhausted its attempt budget with "
                 f"{len(out)}/{count} pairs drawn"
             )

@@ -1,0 +1,173 @@
+"""Property-based suite for the serving simulator.
+
+Three invariants drive the design of :mod:`repro.simulator.serving`, and
+each gets a Hypothesis property here:
+
+* **Determinism** — identical inputs (arrivals, pairs, config, fault
+  plan) reproduce an identical :class:`ServingStats`, down to the repr:
+  event ties are broken by explicit sequence numbers, never hash order.
+* **Reorder invariance** — the relative order of *simultaneous* trace
+  arrivals is presentation, not semantics: with unbounded queues, every
+  aggregate counter (outcomes, hop totals, per-link loads) is invariant
+  under permuting same-time entries.
+* **Conservation** — ``arrivals == completions + drops + deadline_misses
+  + in_flight`` at the end of the run *and at every checkpoint*, across
+  random capacities, deadlines, horizons and fault plans.  This is the
+  bookkeeping identity any accounting bug breaks first.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import route
+from repro.simulator import FaultPlan
+from repro.simulator.serving import (
+    ServingConfig,
+    open_loop_pairs,
+    poisson_arrivals,
+    run_serving,
+)
+from repro.topology import DualCube
+
+_DC = DualCube(2)
+
+
+def _router(u, v):
+    return route(_DC, u, v)
+
+
+_router.__name__ = "dualcube_route"
+
+
+def _workload(num, seed, rate=2.0):
+    arrivals = poisson_arrivals(rate, num, seed=seed)
+    pairs = open_loop_pairs(_DC, num, seed=seed + 1)
+    return arrivals, pairs
+
+
+class TestDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 80),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([None, 0, 1, 3]),
+        st.sampled_from([None, 4.0, 12.0]),
+    )
+    def test_same_inputs_same_stats(self, num, seed, capacity, deadline):
+        arrivals, pairs = _workload(num, seed)
+        cfg = ServingConfig(
+            queue_capacity=capacity, deadline=deadline, checkpoint_every=2.0
+        )
+        a = run_serving(_DC, _router, arrivals, pairs, config=cfg)
+        b = run_serving(_DC, _router, arrivals, pairs, config=cfg)
+        assert a == b
+        # Byte-identical, not merely ==: the stats double as a regression
+        # fingerprint, so even float formatting must reproduce.
+        assert repr(a) == repr(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 60), st.integers(0, 2**31 - 1))
+    def test_deterministic_under_faults(self, num, seed):
+        arrivals, pairs = _workload(num, seed)
+        plan = FaultPlan(drop_rate=0.2, seed=seed % 1000, max_retries=50)
+        a = run_serving(_DC, _router, arrivals, pairs, fault_plan=plan)
+        b = run_serving(_DC, _router, arrivals, pairs, fault_plan=plan)
+        assert a == b and repr(a) == repr(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 60), st.integers(0, 2**31 - 1))
+    def test_different_seeds_differ(self, num, seed):
+        """The seed actually reaches the workload (no silent reseeding)."""
+        a1, p1 = _workload(num, seed)
+        a2, p2 = _workload(num, seed + 1)
+        assert not (np.array_equal(a1, a2) and p1 == p2)
+
+
+class TestReorderInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 50), st.integers(0, 2**31 - 1))
+    def test_simultaneous_arrival_order_is_immaterial(self, num, seed):
+        rng = np.random.default_rng(seed)
+        # Integer-valued times force many exact ties.
+        times = np.sort(rng.integers(0, max(2, num // 3), num)).astype(float)
+        pairs = open_loop_pairs(_DC, num, seed=seed)
+
+        # Permute entries *within* each equal-time group.
+        perm = np.arange(num)
+        for t in np.unique(times):
+            (idx,) = np.nonzero(times == t)
+            perm[idx] = rng.permutation(idx)
+        shuffled_pairs = [pairs[i] for i in perm]
+        assert sorted(shuffled_pairs) == sorted(pairs)
+
+        a = run_serving(_DC, _router, times, pairs)
+        b = run_serving(_DC, _router, times, shuffled_pairs)
+        assert (a.arrivals, a.completions, a.drops, a.deadline_misses,
+                a.in_flight) == (b.arrivals, b.completions, b.drops,
+                                 b.deadline_misses, b.in_flight)
+        assert a.hops_served == b.hops_served
+        assert a.path_hops == b.path_hops
+        assert a.link_loads == b.link_loads
+
+
+class TestConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 80),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([None, 0, 1, 2]),
+        st.sampled_from([None, 3.0, 8.0]),
+        st.sampled_from([None, 10.0]),
+        st.booleans(),
+    )
+    def test_holds_at_every_checkpoint(
+        self, num, seed, capacity, deadline, horizon, faulty
+    ):
+        arrivals, pairs = _workload(num, seed, rate=3.0)
+        cfg = ServingConfig(
+            queue_capacity=capacity,
+            deadline=deadline,
+            horizon=horizon,
+            checkpoint_every=1.0,
+        )
+        plan = (
+            FaultPlan(drop_rate=0.15, seed=seed % 997, max_retries=20)
+            if faulty
+            else None
+        )
+        stats = run_serving(
+            _DC, _router, arrivals, pairs, config=cfg, fault_plan=plan
+        )
+        assert stats.conservation_ok()
+        # Assert the identity by hand too, so a bug in conservation_ok()
+        # itself cannot vacuously pass.
+        assert stats.arrivals == (
+            stats.completions + stats.drops + stats.deadline_misses
+            + stats.in_flight
+        )
+        for c in stats.checkpoints:
+            assert c.arrivals == (
+                c.completions + c.drops + c.deadline_misses + c.in_flight
+            )
+        # Checkpoint counters are non-decreasing in time.
+        for prev, cur in zip(stats.checkpoints, stats.checkpoints[1:]):
+            assert cur.time > prev.time
+            assert cur.arrivals >= prev.arrivals
+            assert cur.completions >= prev.completions
+            assert cur.drops >= prev.drops
+            assert cur.deadline_misses >= prev.deadline_misses
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 50), st.integers(0, 2**31 - 1))
+    def test_blocking_policy_conserves_at_horizon(self, num, seed):
+        arrivals, pairs = _workload(num, seed, rate=4.0)
+        cfg = ServingConfig(
+            queue_capacity=1, policy="block", horizon=8.0, checkpoint_every=1.0
+        )
+        stats = run_serving(_DC, _router, arrivals, pairs, config=cfg)
+        assert stats.conservation_ok()
+        assert stats.drops == 0  # backpressure never discards
+        # Whatever did not finish by the horizon is in flight.
+        assert stats.in_flight == stats.arrivals - stats.finished

@@ -44,6 +44,17 @@ class TestRandomPairs:
         with pytest.raises(ValueError, match="count"):
             random_pairs(4, -1, rng)
 
+    def test_budget_exhaustion_is_value_error(self):
+        """Regression: a pathological rng used to raise RuntimeError; the
+        library-errors convention (PR 4) says bad inputs are ValueError."""
+
+        class _StuckRng:
+            def integers(self, lo, hi):
+                return 0  # every draw is a self-pair, always rejected
+
+        with pytest.raises(ValueError, match="attempt budget"):
+            random_pairs(4, 3, _StuckRng())
+
 
 class TestDimensionOrderPath:
     def test_fixes_bits_low_to_high(self):
@@ -124,7 +135,28 @@ class TestRunTraffic:
         )
         row = stats.row()
         assert row[0] == "D_2"
-        assert len(row) == 7
+        assert len(row) == 9
+        # Fault-free: no retransmissions, path hops equal physical hops.
+        assert row[7] == 0
+        assert row[8] == stats.total_hops
+
+    def test_row_surfaces_fault_accounting(self):
+        """Regression: the row used to omit retransmissions and path_hops,
+        so a fault run's table rendered identically to the fault-free one."""
+        from repro.simulator import FaultPlan
+
+        cube = Hypercube(2)
+        pairs = [(0, 3)] * 40
+        plan = FaultPlan(drop_rate=0.3, seed=11, max_retries=100)
+        clean = run_traffic(cube, hypercube_dimension_order_path, pairs)
+        faulty = run_traffic(
+            cube, hypercube_dimension_order_path, pairs, fault_plan=plan
+        )
+        assert faulty.retransmissions > 0
+        assert faulty.row() != clean.row()
+        # The appended columns carry exactly the fault accounting.
+        assert faulty.row()[7] == faulty.retransmissions
+        assert faulty.row()[8] == clean.row()[8] == clean.path_hops
 
     def test_average_hops_tracks_average_distance(self, rng):
         """Uniform traffic's mean hops converges to the mean distance."""
