@@ -1,21 +1,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke bench bench-columnar bench-replay bench-serving
+.PHONY: check test lint check-schedule check-faults-smoke timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke bench bench-columnar bench-replay bench-serving
 
 ## check: tier-1 tests + static analysis + timeline/bench smoke runs (what CI gates on)
-check: test lint check-schedule timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke
+check: test lint check-schedule check-faults-smoke timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-## lint: repo-wide AST lint (REP001-REP007) over src/
+## lint: repo-wide AST lint (REP001-REP007) over src/, tests/ and
+## benchmarks/ — per-path rule profiles relax asserts in tests and
+## prints in benchmarks (see repro.analysis.static.lint.RULE_PROFILES)
 lint:
-	$(PYTHON) -m repro lint src
+	$(PYTHON) -m repro lint src tests benchmarks
 
 ## check-schedule: static Theorem 1/2 schedule verification, D_2..D_5
 check-schedule:
 	$(PYTHON) -m repro check-schedule
+
+## check-faults-smoke: shard/columnar race check of the compiled plans
+check-faults-smoke:
+	$(PYTHON) -m repro check-faults --plan
 
 ## timeline-smoke: record prefix+sort timelines, validate them against the
 ## static schedules, and exercise both metrics exporters (exit 1 on divergence)

@@ -21,9 +21,16 @@ dynamic run:
 * :mod:`repro.analysis.static.compile` — turns the extracted schedules
   around: compiles `D_prefix` and step-schedule algorithms into
   straight-line plans of permutations and masks (validated against
-  :func:`extract_schedule`) that the ``"replay"`` backend executes;
+  :func:`extract_schedule`) that the ``"replay"`` backend executes, and
+  proves the sharded/columnar write sets race-free before forking
+  (:class:`WriteSpan` algebra, ``repro check-faults --plan``);
+* :mod:`repro.analysis.static.faults` — fault-impact analysis: blast
+  radius by forward taint/blocking propagation through a schedule,
+  deadlock/orphan diagnosis of the fault-pruned schedule, static
+  prediction of ``run_faulty`` exclusion sets, and minimal-cut search
+  with exact Menger structural cuts (``repro check-faults``);
 * :mod:`repro.analysis.static.lint` — a stdlib-``ast`` repo linter with
-  repro-specific rules (``repro lint``).
+  repro-specific rules and per-path rule profiles (``repro lint``).
 
 See ``docs/static-analysis.md`` for the full tour.
 """
@@ -40,11 +47,30 @@ from repro.analysis.static.extract import (
     schedule_from_messages,
 )
 from repro.analysis.static.checkers import (
+    EXIT_CODES,
+    VIOLATION_CLASSES,
     check_bounds,
     check_congestion,
     check_edge_legality,
     check_pairing,
+    exit_code_for,
     run_schedule_checks,
+)
+from repro.analysis.static.faults import (
+    CutResult,
+    FaultImpact,
+    RecoveryImpact,
+    all_included_violated,
+    analyze_fault_impact,
+    fault_set_of,
+    minimal_cut,
+    minimal_cut_table,
+    quorum_node_cut,
+    quorum_violated,
+    rank_included_violated,
+    recovery_impact,
+    structural_link_cut,
+    structural_node_cut,
 )
 from repro.analysis.static.theorems import (
     ScheduleReport,
@@ -58,16 +84,25 @@ from repro.analysis.static.compile import (
     PlanError,
     PrefixPlan,
     SchedulePlan,
+    ShardRaceError,
+    WriteSpan,
+    check_columnar_round,
+    check_shard_plan,
+    columnar_round_spans,
     compile_prefix_plan,
     compile_schedule_plan,
     plan_comm_schedule,
+    shard_task_spans,
+    spans_overlap,
 )
 from repro.analysis.static.lint import (
     LINT_RULES,
+    RULE_PROFILES,
     LintViolation,
     lint_file,
     lint_paths,
     lint_source,
+    profile_for,
 )
 
 __all__ = [
@@ -83,6 +118,23 @@ __all__ = [
     "check_edge_legality",
     "check_pairing",
     "run_schedule_checks",
+    "EXIT_CODES",
+    "VIOLATION_CLASSES",
+    "exit_code_for",
+    "FaultImpact",
+    "analyze_fault_impact",
+    "RecoveryImpact",
+    "recovery_impact",
+    "fault_set_of",
+    "all_included_violated",
+    "rank_included_violated",
+    "quorum_violated",
+    "CutResult",
+    "minimal_cut",
+    "structural_node_cut",
+    "structural_link_cut",
+    "quorum_node_cut",
+    "minimal_cut_table",
     "ScheduleReport",
     "core_schedule_cases",
     "verify_prefix_schedule",
@@ -90,14 +142,23 @@ __all__ = [
     "verify_theorems",
     "CompiledStep",
     "PlanError",
+    "ShardRaceError",
     "PrefixPlan",
     "SchedulePlan",
     "compile_prefix_plan",
     "compile_schedule_plan",
     "plan_comm_schedule",
+    "WriteSpan",
+    "spans_overlap",
+    "shard_task_spans",
+    "check_shard_plan",
+    "columnar_round_spans",
+    "check_columnar_round",
     "LINT_RULES",
+    "RULE_PROFILES",
     "LintViolation",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "profile_for",
 ]

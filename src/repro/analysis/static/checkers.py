@@ -15,6 +15,12 @@ message logs, and hand-built fixtures alike.
   optional aggregate per-link load bound;
 * :func:`check_bounds` — communication/computation step counts against
   theorem bounds and exact cost-model predictions.
+
+Violation codes are grouped into classes with stable CLI exit codes
+(:data:`EXIT_CODES`, :func:`exit_code_for`): legality 2, pairing 3,
+congestion 4, bounds 5, fault impact 6.  When several classes fire, the
+lowest (most fundamental) code wins, so ``repro check-schedule --json``
+and ``repro check-faults`` report comparably in scripts and CI.
 """
 
 from __future__ import annotations
@@ -28,7 +34,47 @@ __all__ = [
     "check_congestion",
     "check_bounds",
     "run_schedule_checks",
+    "VIOLATION_CLASSES",
+    "EXIT_CODES",
+    "exit_code_for",
 ]
+
+# Violation-code -> class.  Exit code 1 stays reserved for generic CLI
+# errors (bad arguments, unknown topology), so classes start at 2.
+VIOLATION_CLASSES: dict[str, str] = {
+    "illegal-edge": "legality",
+    "race": "legality",
+    "stall": "pairing",
+    "livelock": "pairing",
+    "orphan": "pairing",
+    "mismatch": "pairing",
+    "deadlock": "pairing",
+    "port-limit": "congestion",
+    "link-congestion": "congestion",
+    "comm-bound": "bounds",
+    "comp-bound": "bounds",
+    "comm-exact": "bounds",
+    "comp-exact": "bounds",
+    "impact": "impact",
+}
+
+EXIT_CODES: dict[str, int] = {
+    "legality": 2,
+    "pairing": 3,
+    "congestion": 4,
+    "bounds": 5,
+    "impact": 6,
+}
+
+
+def exit_code_for(violations) -> int:
+    """CLI exit code for a violation list: 0 clean, else the lowest class
+    code present (unknown codes count as generic failures, exit 1)."""
+    codes = set()
+    for v in violations:
+        cls = VIOLATION_CLASSES.get(v.code)
+        codes.add(EXIT_CODES[cls] if cls is not None else 1)
+    return min(codes) if codes else 0
 
 
 def _legal_endpoint(u: int, v: int, topo: Topology, n: int) -> str | None:

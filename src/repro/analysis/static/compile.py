@@ -30,6 +30,16 @@ it — event set and step count — against the record-only extractor on
 networks up to :data:`VALIDATE_MAX_NODES` nodes (above that the
 per-node-program extractor is the thing replay exists to avoid).  A
 divergence raises :class:`PlanError` instead of producing wrong answers.
+
+The module also hosts the **shard-disjointness race checker** for the
+parallel execution paths: the sharded replay fork-pool writes two shared
+memory buffers from concurrent workers, and the columnar backend's
+in-place rounds write three reshape views of the same arrays.  Both
+write sets are pure index arithmetic over the plan, so
+:func:`check_shard_plan` / :func:`check_columnar_round` prove them
+pairwise disjoint symbolically (:class:`WriteSpan` strided-block algebra
+— exact, no ``shares_memory`` at runtime) and raise
+:class:`ShardRaceError` *before* any worker is forked.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from repro.analysis.static.schedule import CommEvent, CommSchedule
 __all__ = [
     "VALIDATE_MAX_NODES",
     "PlanError",
+    "ShardRaceError",
     "PrefixRound",
     "PrefixPlan",
     "CompiledStep",
@@ -52,6 +63,12 @@ __all__ = [
     "compile_prefix_plan",
     "compile_schedule_plan",
     "plan_comm_schedule",
+    "WriteSpan",
+    "spans_overlap",
+    "shard_task_spans",
+    "check_shard_plan",
+    "columnar_round_spans",
+    "check_columnar_round",
 ]
 
 #: Largest network on which compilation auto-validates its plan against
@@ -62,6 +79,10 @@ VALIDATE_MAX_NODES = 512
 
 class PlanError(ValueError):
     """A compiled plan disagrees with the extracted schedule."""
+
+
+class ShardRaceError(PlanError):
+    """A parallel plan's write sets could race (overlap or escape)."""
 
 
 @dataclass(frozen=True)
@@ -377,3 +398,209 @@ def _check_against_extraction(plan, topo, program) -> None:
             f"compiled plan for {plan.topology} diverges from the "
             f"extracted schedule: " + "; ".join(problems)
         )
+
+
+# -- shard-disjointness race checking ------------------------------------------
+
+
+@dataclass(frozen=True)
+class WriteSpan:
+    """A strided-block write set: elements ``base + k*stride + j`` for
+    ``k < count``, ``j < block``, inside the address space ``buffer``.
+
+    This is exactly the footprint of a numpy reshape-view write — a
+    contiguous slab is ``count=1``, an interleaved view (every other
+    ``2**b``-block, a transposed column) has ``count > 1`` — so the write
+    sets of the sharded replay workers and the columnar rounds are all
+    expressible, and overlap between two spans is decidable by integer
+    division instead of runtime ``shares_memory``.
+    """
+
+    buffer: str
+    base: int
+    stride: int
+    count: int
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.count < 1 or self.block < 1:
+            raise ValueError(f"malformed span {self}")
+        if self.count > 1 and self.stride < self.block:
+            raise ValueError(
+                f"span {self} overlaps itself: stride {self.stride} < "
+                f"block {self.block}"
+            )
+
+    @property
+    def stop(self) -> int:
+        """One past the largest element."""
+        return self.base + (self.count - 1) * self.stride + self.block
+
+    def elements(self) -> frozenset[int]:
+        """The concrete element set (test/debug aid; O(count * block))."""
+        return frozenset(
+            self.base + k * self.stride + j
+            for k in range(self.count)
+            for j in range(self.block)
+        )
+
+
+def spans_overlap(a: WriteSpan, b: WriteSpan) -> bool:
+    """Exact strided-block intersection test.
+
+    Per block ``[x, x + a.block)`` of ``a``, the blocks of ``b`` that can
+    intersect it start at ``b.base + j*b.stride`` with
+    ``x - b.block < b.base + j*b.stride < x + a.block``; solving for the
+    integer ``j`` range makes the test O(min(count)) with no element
+    enumeration.
+    """
+    if a.buffer != b.buffer:
+        return False
+    if a.count > b.count:
+        a, b = b, a
+    for k in range(a.count):
+        x = a.base + k * a.stride
+        j_min = (x - b.block - b.base) // b.stride + 1
+        j_max = -((b.base - x - a.block) // b.stride) - 1
+        if max(j_min, 0) <= min(j_max, b.count - 1):
+            return True
+    return False
+
+
+def _check_disjoint(
+    spans: Sequence[tuple[str, WriteSpan]], what: str
+) -> None:
+    """Pairwise disjointness over labelled spans, or :class:`ShardRaceError`."""
+    for i in range(len(spans)):
+        for j in range(i + 1, len(spans)):
+            (name_a, a), (name_b, b) = spans[i], spans[j]
+            if spans_overlap(a, b):
+                raise ShardRaceError(
+                    f"{what}: write sets of {name_a} and {name_b} overlap "
+                    f"in buffer {a.buffer!r} ({a} vs {b})"
+                )
+
+
+def shard_task_spans(
+    n: int, m: int, tasks: Sequence[tuple[int, int, int]]
+) -> list[tuple[str, WriteSpan]]:
+    """Write spans of the sharded-replay fork-pool tasks.
+
+    ``tasks`` are ``(cls, start, stop)`` cluster blocks over a length-``n``
+    state with ``2**m``-node clusters (the triples carried by
+    ``repro.core.replay._shard_worker``).  A class-0 worker writes
+    contiguous rows ``[start*width, stop*width)`` of the lower half; a
+    class-1 worker writes columns ``[start, stop)`` of the upper half's
+    ``(width, half/width)`` view — an interleaved span with stride
+    ``half // width``.  Both the ``t`` and ``s`` buffers get the same
+    footprint.
+    """
+    half = n // 2
+    width = 1 << m
+    if n <= 0 or n % 2 or half % width:
+        raise ShardRaceError(
+            f"shard geometry n={n}, m={m} does not split into two halves "
+            f"of whole {width}-node clusters"
+        )
+    rows = half // width
+    spans: list[tuple[str, WriteSpan]] = []
+    for cls, start, stop in tasks:
+        if cls not in (0, 1):
+            raise ShardRaceError(f"shard task has class {cls}, not 0/1")
+        limit = rows if cls == 0 else half // width
+        if not 0 <= start < stop <= limit:
+            raise ShardRaceError(
+                f"shard task class {cls} block [{start}, {stop}) escapes "
+                f"its 0..{limit} cluster range"
+            )
+        name = f"shard(cls={cls}, [{start}:{stop}))"
+        for buf in ("t", "s"):
+            if cls == 0:
+                span = WriteSpan(
+                    buffer=buf,
+                    base=start * width,
+                    stride=half,
+                    count=1,
+                    block=(stop - start) * width,
+                )
+            else:
+                span = WriteSpan(
+                    buffer=buf,
+                    base=half + start,
+                    stride=half // width,
+                    count=width,
+                    block=stop - start,
+                )
+            if span.stop > (half if cls == 0 else n):
+                raise ShardRaceError(
+                    f"{name} writes past its half: span {span} in a "
+                    f"length-{n} state"
+                )
+            spans.append((name, span))
+    return spans
+
+
+def check_shard_plan(
+    n: int, m: int, tasks: Sequence[tuple[int, int, int]]
+) -> list[tuple[str, WriteSpan]]:
+    """Verify a sharded-replay task list is race-free; returns its spans.
+
+    Raises :class:`ShardRaceError` when any two tasks' write sets
+    overlap or a task escapes its class half — called by
+    ``_dual_prefix_replay_sharded`` before the pool forks, so a racing
+    plan can never reach shared memory.
+    """
+    spans = shard_task_spans(n, m, tasks)
+    _check_disjoint(spans, f"shard plan (n={n}, m={m})")
+    return spans
+
+
+def columnar_round_spans(
+    length: int, bit: int
+) -> list[tuple[str, WriteSpan]]:
+    """Write spans of one columnar ``bit_pair_views`` combine round.
+
+    The round body writes ``s_hi``, ``t_hi`` and ``t_lo``, where lo/hi
+    are the bit-``bit`` pair sides of a length-``length`` column: every
+    other ``2**bit``-block, stride ``2**(bit+1)``.
+    """
+    if bit < 0 or (1 << (bit + 1)) > length:
+        raise ShardRaceError(
+            f"bit {bit} out of range for a length-{length} column"
+        )
+    blk = 1 << bit
+    pairs = length >> (bit + 1)
+
+    def side(buf: str, hi: bool) -> WriteSpan:
+        return WriteSpan(
+            buffer=buf,
+            base=blk if hi else 0,
+            stride=2 * blk,
+            count=pairs,
+            block=blk,
+        )
+
+    return [
+        ("t_lo", side("t", False)),
+        ("t_hi", side("t", True)),
+        ("s_hi", side("s", True)),
+    ]
+
+
+def check_columnar_round(
+    length: int, bit: int
+) -> list[tuple[str, WriteSpan]]:
+    """Verify one columnar round's in-place writes cannot race.
+
+    Raises :class:`ShardRaceError` on overlap or an out-of-column span;
+    returns the spans otherwise.
+    """
+    spans = columnar_round_spans(length, bit)
+    for name, span in spans:
+        if span.stop > length:
+            raise ShardRaceError(
+                f"columnar round bit {bit}: {name} span {span} escapes "
+                f"the length-{length} column"
+            )
+    _check_disjoint(spans, f"columnar round (length={length}, bit={bit})")
+    return spans

@@ -29,8 +29,14 @@ public surface:
   name).  Only ``repro/core/backends.py`` itself is exempt.
 
 Suppress a finding in place with ``# noqa`` (all rules) or
-``# noqa: REP001,REP004`` (specific rules).  ``repro lint`` runs
-:func:`lint_paths` over ``src/`` and exits non-zero on any finding.
+``# noqa: REP001,REP004`` (specific rules).  Whole rule families are
+relaxed per *path profile* (:data:`RULE_PROFILES`): ``tests/`` code may
+assert (pytest rewrites them) and needs no ``__all__``; ``benchmarks/``
+additionally may print (they are scripts).  The profile is picked from
+the path by :func:`profile_for`, so ``make lint`` covers
+``src tests benchmarks`` with one configuration and no flag soup.
+``repro lint`` runs :func:`lint_paths` and exits non-zero on any
+finding.
 """
 
 from __future__ import annotations
@@ -42,7 +48,9 @@ from dataclasses import dataclass
 
 __all__ = [
     "LINT_RULES",
+    "RULE_PROFILES",
     "LintViolation",
+    "profile_for",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -58,6 +66,27 @@ LINT_RULES = {
     "REP007": "inline backend string comparison outside the backend registry",
 }
 
+# Rules disabled per path profile.  The empty default ("src") applies
+# everywhere no named profile matches; tests keep full determinism rules
+# but may assert and skip __all__; benchmarks are scripts and may also
+# print.
+RULE_PROFILES: dict[str, frozenset[str]] = {
+    "src": frozenset(),
+    "tests": frozenset({"REP001", "REP005"}),
+    "benchmarks": frozenset({"REP001", "REP004", "REP005"}),
+}
+
+
+def profile_for(path: str) -> str:
+    """Profile name for ``path``: first path segment naming a profile
+    (``tests``/``benchmarks`` anywhere in the path), else ``"src"``."""
+    parts = path.replace("\\", "/").split("/")
+    for part in parts[:-1]:
+        if part in RULE_PROFILES and part != "src":
+            return part
+    return "src"
+
+
 # Directory names never descended into by lint_paths.
 _SKIP_DIRS = {
     ".git",
@@ -66,7 +95,6 @@ _SKIP_DIRS = {
     "build",
     "dist",
     ".venv",
-    "tests",
 }
 
 # RNG callables that are fine unconditionally: they wrap explicit state
@@ -294,8 +322,19 @@ def _backend_compare_findings(node: ast.Compare) -> list[tuple[int, str, str]]:
     return out
 
 
-def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
-    """Lint one module's source text; returns findings (empty = clean)."""
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    disabled: frozenset[str] | None = None,
+) -> list[LintViolation]:
+    """Lint one module's source text; returns findings (empty = clean).
+
+    ``disabled`` suppresses whole rule codes; ``None`` (default) uses the
+    path's profile (:func:`profile_for`).
+    """
+    if disabled is None:
+        disabled = RULE_PROFILES[profile_for(path)]
     tree = ast.parse(source, filename=path)
     noqa = _noqa_map(source)
     aliases = _import_aliases(tree)
@@ -343,6 +382,8 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
 
     out: list[LintViolation] = []
     for line, code, message in sorted(raw):
+        if code in disabled:
+            continue
         if line in noqa:
             codes = noqa[line]
             if codes is None or code in codes:
@@ -351,18 +392,23 @@ def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
     return out
 
 
-def lint_file(path: str) -> list[LintViolation]:
-    """Lint one ``.py`` file from disk."""
+def lint_file(
+    path: str, *, disabled: frozenset[str] | None = None
+) -> list[LintViolation]:
+    """Lint one ``.py`` file from disk (profile rules apply, see
+    :func:`lint_source`)."""
     with open(path, encoding="utf-8") as fh:
         source = fh.read()
-    return lint_source(source, path)
+    return lint_source(source, path, disabled=disabled)
 
 
 def lint_paths(paths) -> list[LintViolation]:
-    """Lint files and directory trees; test/cache/build dirs are skipped.
+    """Lint files and directory trees; cache/build dirs are skipped.
 
     Directories are walked recursively for ``*.py`` files; explicit file
-    arguments are linted even if a skip rule would exclude them.
+    arguments are linted even if a skip rule would exclude them.  Each
+    file is linted under its path's rule profile (:func:`profile_for`),
+    so one invocation can cover ``src tests benchmarks``.
     """
     out: list[LintViolation] = []
     for target in paths:

@@ -39,6 +39,7 @@ import time
 import numpy as np
 
 from repro.analysis.static.compile import (
+    check_shard_plan,
     compile_prefix_plan,
     compile_schedule_plan,
 )
@@ -357,6 +358,9 @@ def _dual_prefix_replay_sharded(
             for cls in (0, 1)
             for a, b in blocks
         ]
+        # Prove the workers' shared-memory write sets pairwise disjoint
+        # before anything forks; a racing plan raises ShardRaceError here.
+        check_shard_plan(n, m, [(t[5], t[6], t[7]) for t in tasks])
 
         def charge_rounds():
             if counters is not None:

@@ -37,11 +37,12 @@ results and cost ledgers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.topology.base import Topology
 
-__all__ = ["FaultPlan", "FAULTED"]
+__all__ = ["FaultPlan", "StaticFaultView", "FAULTED"]
 
 _M64 = (1 << 64) - 1
 _TAG_DROP = 0x9E3779B97F4A7C15
@@ -246,6 +247,24 @@ class FaultPlan:
                     f"cut link ({u}, {v}) is not an edge of {topo.name}"
                 )
 
+    def static_view(self) -> "StaticFaultView":
+        """Project the plan onto its statically analyzable part.
+
+        See :class:`StaticFaultView`.
+        """
+        return StaticFaultView(
+            crashes=tuple(sorted(self.node_crashes.items())),
+            cuts=tuple(sorted(self.link_cuts.items())),
+            transient=bool(
+                self.drops
+                or self.drop_rate
+                or self.delays
+                or self.delay_rate
+            ),
+            timeout=self.timeout,
+            on_timeout=self.on_timeout,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = []
         if self.node_crashes:
@@ -259,3 +278,62 @@ class FaultPlan:
         if self.timeout is not None:
             parts.append(f"timeout={self.timeout}/{self.on_timeout}")
         return f"FaultPlan({', '.join(parts) or 'empty'})"
+
+
+@dataclass(frozen=True)
+class StaticFaultView:
+    """The timing-resolved, randomness-free projection of a fault plan.
+
+    Static analysis (``repro.analysis.static.faults``) reasons about the
+    *structural* faults of a plan: node crashes and link cuts, each pinned
+    to a deterministic cycle.  Drops and delays are draws against the
+    engine's actual cycle counter, so their effect depends on runtime
+    timing; they are summarized by the single :attr:`transient` flag and
+    the analyzer refuses plans where it is set (the caller must decide how
+    to over-approximate them).
+
+    ``crashes`` / ``cuts`` are sorted tuples so a view is hashable and two
+    plans with the same structural faults compare equal.
+    """
+
+    crashes: tuple[tuple[int, int], ...] = ()
+    cuts: tuple[tuple[tuple[int, int], int], ...] = ()
+    transient: bool = False
+    timeout: int | None = None
+    on_timeout: str = "raise"
+
+    @classmethod
+    def from_faults(
+        cls,
+        *,
+        nodes: Iterable[int] = (),
+        links: Iterable[tuple[int, int]] = (),
+    ) -> "StaticFaultView":
+        """Build a view of *permanent* faults (present from cycle 1).
+
+        Accepts the node/link collections of a
+        :class:`repro.topology.faults.FaultSet` directly.
+        """
+        return cls(
+            crashes=tuple(sorted((int(r), 1) for r in set(nodes))),
+            cuts=tuple(sorted((_norm_link(e), 1) for e in set(links))),
+        )
+
+    def node_dead(self, rank: int, step: int) -> bool:
+        """Whether ``rank`` is dead during lockstep ``step`` (1-based)."""
+        for r, cycle in self.crashes:
+            if r == rank and cycle <= step:
+                return True
+        return False
+
+    def link_down(self, u: int, v: int, step: int) -> bool:
+        """Whether the undirected link ``{u, v}`` is unusable at ``step``."""
+        key = (min(u, v), max(u, v))
+        for link, cycle in self.cuts:
+            if link == key and cycle <= step:
+                return True
+        return self.node_dead(u, step) or self.node_dead(v, step)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.crashes and not self.cuts and not self.transient

@@ -18,6 +18,7 @@ from repro.analysis.static import (
     extract_schedule,
     run_schedule_checks,
 )
+from repro.analysis.static.checkers import _find_cycle
 from repro.simulator import Recv, Send, SendRecv
 from repro.topology import DualCube, Hypercube
 
@@ -351,3 +352,24 @@ class TestRunScheduleChecks:
         assert "illegal-edge" in text
         assert "step 3" in text
         assert "rank 1" in text
+
+
+class TestFindCycle:
+    """Edge cases of the wait-for cycle detector used by check_pairing."""
+
+    def test_self_loop(self):
+        assert _find_cycle({0: (0,)}) == [0, 0]
+
+    def test_two_disjoint_cycles_reports_first_deterministically(self):
+        edges = {0: (1,), 1: (0,), 2: (3,), 3: (2,)}
+        # The cycle through the lowest rank wins, every time.
+        assert _find_cycle(edges) == [0, 1, 0]
+        assert _find_cycle(edges) == [0, 1, 0]
+
+    def test_cycle_behind_non_cycle_prefix(self):
+        # Rank 0 waits into the cycle but is not part of it; the
+        # reported walk must contain only the cycle members.
+        assert _find_cycle({0: (1,), 1: (2,), 2: (1,)}) == [1, 2, 1]
+
+    def test_acyclic_chain(self):
+        assert _find_cycle({0: (1,), 1: (2,)}) is None

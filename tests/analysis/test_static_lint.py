@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.analysis.static import LINT_RULES, lint_file, lint_paths, lint_source
+from repro.analysis.static import LINT_RULES, lint_file, lint_paths, lint_source, profile_for
 
 pytestmark = pytest.mark.lint
 
@@ -273,3 +273,43 @@ class TestRep007BackendCompare:
 
     def test_rule_is_documented(self):
         assert "REP007" in LINT_RULES
+
+
+class TestRuleProfiles:
+    def test_profile_for_paths(self):
+        assert profile_for("src/repro/cli.py") == "src"
+        assert profile_for("tests/analysis/test_x.py") == "tests"
+        assert profile_for("benchmarks/test_e1.py") == "benchmarks"
+        # The profile comes from a directory segment, not the filename.
+        assert profile_for("src/repro/tests.py") == "src"
+        assert profile_for("somewhere/else/mod.py") == "src"
+
+    def test_assert_allowed_under_tests(self):
+        src = '"""Doc."""\n\n\ndef f():\n    assert True\n'
+        assert lint_source(src, "tests/test_mod.py") == []
+        codes = {v.code for v in lint_source(src, "src/mod.py")}
+        assert "REP001" in codes
+
+    def test_print_allowed_in_benchmarks_not_tests(self):
+        src = '"""Doc."""\n\n__all__ = []\n\nprint("x")\n'
+        assert lint_source(src, "benchmarks/test_e0.py") == []
+        codes = {v.code for v in lint_source(src, "tests/test_mod.py")}
+        assert "REP004" in codes
+
+    def test_explicit_disabled_overrides_profile(self):
+        src = '"""Doc."""\n\n\ndef f():\n    assert True\n'
+        assert lint_source(src, "src/mod.py", disabled=frozenset({"REP001", "REP005"})) == []
+        # And an empty disabled set re-enables everything under tests/.
+        codes = {
+            v.code
+            for v in lint_source(src, "tests/test_mod.py", disabled=frozenset())
+        }
+        assert "REP001" in codes
+
+    def test_rep002_still_fires_in_tests_profile(self):
+        src = (
+            '"""Doc."""\n\nimport random\n\n\n'
+            "def f():\n    return random.random()\n"
+        )
+        codes = {v.code for v in lint_source(src, "tests/test_mod.py")}
+        assert "REP002" in codes

@@ -287,3 +287,98 @@ class TestTimelineCli:
         assert "link utilization over" in out
         assert jsonl.read_text().strip()
         assert "# TYPE repro_messages counter" in prom.read_text()
+
+
+class TestCheckFaultsCli:
+    def test_clean_run_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["check-faults", "-n", "2"]) == 0
+        assert "blast radius" in capsys.readouterr().out
+
+    def test_cut_deadlock_exits_pairing_class(self, capsys):
+        from repro.cli import main
+
+        assert main(["check-faults", "-n", "2", "--cut", "0:1"]) == 3
+        out = capsys.readouterr().out
+        assert "deadlock" in out
+
+    def test_cancel_crash_json_exits_impact_class(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main(
+            ["check-faults", "-n", "2", "--crash", "3",
+             "--semantics", "cancel", "--json"]
+        )
+        assert code == 6
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["semantics"] == "cancel"
+        assert 3 in payload["blast_radius"]
+        assert payload["violations"] == []
+
+    def test_plan_mode_accepts_all_compiled_plans(self, capsys):
+        from repro.cli import main
+
+        assert main(["check-faults", "--plan", "--max-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "race-free" in out
+
+    def test_minimal_cut_table_deterministic(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(
+            ["check-faults", "--minimal-cut", "--max-n", "2", "--json"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(
+            ["check-faults", "--minimal-cut", "--max-n", "2", "--json"]
+        ) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        by_name = {row["topology"]: row for row in first["rows"]}
+        assert by_name["D_2"]["node_cut"] == 2
+        assert by_name["Q_5"]["node_cut"] == 5
+
+    def test_check_schedule_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["check-schedule", "--max-n", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert all(r["violations"] == [] for r in payload["reports"])
+
+    def test_lint_format_json(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f():\n    assert True\n")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert {f["code"] for f in findings} == {"REP001", "REP005"}
+        assert all(f["path"].endswith("bad.py") for f in findings)
+
+    def test_lint_format_github(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f():\n    assert True\n")
+        assert main(["lint", str(bad), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "title=REP001" in out
+
+    def test_lint_format_github_silent_when_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        good = tmp_path / "good.py"
+        good.write_text('"""Fine."""\n\nX = 1\n')
+        assert main(["lint", str(good), "--format", "github"]) == 0
+        assert capsys.readouterr().out.strip() == ""
