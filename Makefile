@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint check-schedule check-faults-smoke timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke bench bench-columnar bench-replay bench-serving
+.PHONY: check test lint check-schedule check-faults-smoke timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke bench-campaign-smoke campaign-smoke bench bench-columnar bench-replay bench-serving bench-campaign
 
 ## check: tier-1 tests + static analysis + timeline/bench smoke runs (what CI gates on)
-check: test lint check-schedule check-faults-smoke timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke
+check: test lint check-schedule check-faults-smoke timeline-smoke bench-smoke bench-faults-smoke bench-columnar-smoke bench-replay-smoke bench-serving-smoke bench-campaign-smoke campaign-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,18 @@ bench-serving-smoke:
 		--out BENCH_serving_smoke.json --compare BENCH_serving_smoke.json \
 		--wall-factor 20
 
+## bench-campaign-smoke: randomized SLO fault campaign at n=2, deterministic
+## search fingerprint regression-gated against the committed baseline
+bench-campaign-smoke:
+	$(PYTHON) -m repro bench --backend campaign --smoke \
+		--out BENCH_campaign_smoke.json --compare BENCH_campaign_smoke.json \
+		--wall-factor 20
+
+## campaign-smoke: run the D_2 campaign end to end and validate the report
+## schema (exits nonzero on drift or a failed static cross-check)
+campaign-smoke:
+	$(PYTHON) -m repro campaign --smoke
+
 ## bench: full sweep, refreshes BENCH_core.json at the repo root
 bench:
 	$(PYTHON) -m repro bench
@@ -73,3 +85,7 @@ bench-replay:
 ## bench-serving: full serving scenario sweep, merged into BENCH_core.json
 bench-serving:
 	$(PYTHON) -m repro bench --backend serving
+
+## bench-campaign: campaign sweep to D_3, merged into BENCH_core.json
+bench-campaign:
+	$(PYTHON) -m repro bench --backend campaign

@@ -174,8 +174,9 @@ def analyze_fault_impact(
 
     ``faults`` is a :class:`~repro.topology.faults.FaultSet` (permanent),
     a :class:`~repro.simulator.faults.FaultPlan` (crashes/cuts with
-    cycles; transient drop/delay plans are rejected — their effect is
-    timing-dependent), or a :class:`StaticFaultView`.
+    cycles; transient drop/delay plans and downtime-interval plans are
+    rejected — their effect is timing-dependent), or a
+    :class:`StaticFaultView`.
 
     ``semantics`` defaults to what the plan implies: ``"cancel"`` when it
     carries ``on_timeout="cancel"`` with a timeout, else ``"block"``.
@@ -194,6 +195,15 @@ def analyze_fault_impact(
             "fault plan has drop/delay randomness; static impact analysis "
             "covers deterministic crashes and cuts only (run mode='retry' "
             "dynamically for transient plans)"
+        )
+    if view.downs:
+        raise ValueError(
+            "fault plan has downtime intervals; lockstep stalls make "
+            "schedule steps drift from engine cycles, so a step-indexed "
+            "analysis of a bounded outage window would be unsound — "
+            "over-approximate each downtime as a crash at its start cycle "
+            "(see repro.simulator.campaign.structural_overapproximation) "
+            "or run the plan dynamically"
         )
     if not schedule.completed:
         raise ValueError(

@@ -206,6 +206,7 @@ def _cmd_bench(args) -> int:
         load_bench,
         merge_bench,
         run_bench,
+        run_bench_campaign,
         run_bench_columnar,
         run_bench_replay,
         run_bench_serving,
@@ -213,7 +214,7 @@ def _cmd_bench(args) -> int:
     )
 
     backend = args.backend
-    if backend in ("columnar", "replay", "serving") and args.faults:
+    if backend in ("columnar", "replay", "serving", "campaign") and args.faults:
         print("--faults is the core suite only (engine-backed scenarios)")
         return 2
     suites = {
@@ -231,6 +232,12 @@ def _cmd_bench(args) -> int:
         ),
         "serving": lambda: run_bench_serving(
             max_n=args.max_n if args.max_n is not None else 4,
+            repeats=args.repeats,
+            smoke=args.smoke,
+            seed=args.seed,
+        ),
+        "campaign": lambda: run_bench_campaign(
+            max_n=args.max_n if args.max_n is not None else 3,
             repeats=args.repeats,
             smoke=args.smoke,
             seed=args.seed,
@@ -274,6 +281,7 @@ def _cmd_bench(args) -> int:
             "columnar": "BENCH_columnar_smoke.json",
             "replay": "BENCH_replay_smoke.json",
             "serving": "BENCH_serving_smoke.json",
+            "campaign": "BENCH_campaign_smoke.json",
             "core": "BENCH_smoke.json",
         }[backend]
     else:
@@ -292,12 +300,12 @@ def _cmd_bench(args) -> int:
             print(f"no baseline at {args.compare}; recording a fresh one")
 
     if (
-        backend in ("columnar", "replay", "serving")
+        backend in ("columnar", "replay", "serving", "campaign")
         and not args.smoke
         and Path(out).exists()
     ):
-        # A full columnar, replay or serving sweep lands next to the core
-        # suite's records instead of clobbering them.
+        # A full columnar, replay, serving or campaign sweep lands next to
+        # the core suite's records instead of clobbering them.
         payload = merge_bench(load_bench(out), payload)
     path = write_bench(payload, out)
     print(f"wrote {path} ({len(payload['records'])} records)")
@@ -856,6 +864,54 @@ def _cmd_check_faults(args) -> int:
     return 6 if impact.blast_radius else 0
 
 
+def _cmd_campaign(args) -> int:
+    import json
+
+    from repro.simulator.campaign import (
+        CampaignError,
+        run_campaign,
+        validate_report,
+    )
+
+    try:
+        result = run_campaign(
+            args.n,
+            seed=args.seed,
+            trials=args.trials,
+            max_probe=args.max_probe,
+            requests_per_node=args.requests_per_node,
+            availability=args.availability,
+            correctness_timeout=args.correctness_timeout,
+        )
+    except CampaignError as exc:
+        print(f"campaign soundness failure: {exc}", file=sys.stderr)
+        return 3
+    report = result.to_dict()
+    if args.smoke:
+        problems = validate_report(report)
+        if problems:
+            for p in problems:
+                print(f"schema drift: {p}", file=sys.stderr)
+            return 1
+        print(
+            f"campaign smoke ok: {result.topology}, "
+            f"{len(result.violations)} violation(s), "
+            f"{result.evaluations} evaluations, "
+            f"cross-checks {'ok' if result.ok else 'FAILED'}"
+        )
+        return 0
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(result.render_table())
+    return 0
+
+
 def _cmd_report(args) -> int:
     from pathlib import Path
 
@@ -979,11 +1035,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--repeats", type=int, default=3, help="wallclock best-of repeats")
     sp.add_argument(
-        "--backend", choices=["core", "columnar", "replay", "serving"],
+        "--backend",
+        choices=["core", "columnar", "replay", "serving", "campaign"],
         default="core",
         help="core = vectorized+engine suite; columnar = structured-array "
              "backend sweep to D_11; replay = compiled-plan backend sweep "
-             "plus one sharded row; serving = open-loop queueing scenarios "
+             "plus one sharded row; serving = open-loop queueing scenarios; "
+             "campaign = randomized SLO fault-campaign sweep "
              "(full runs merge into BENCH_core.json)",
     )
     sp.add_argument(
@@ -1122,6 +1180,39 @@ def build_parser() -> argparse.ArgumentParser:
              "3 pairing violation, 6 nonempty blast radius",
     )
     sp.set_defaults(fn=_cmd_check_faults)
+
+    sp = sub.add_parser(
+        "campaign",
+        help="randomized SLO fault campaign (churn, outages, rolling "
+             "restarts) with static triage and minimal-cut cross-check",
+    )
+    sp.add_argument("-n", type=int, default=2)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--trials", type=int, default=8,
+        help="random probes per SLO (plus deterministic seed probes)",
+    )
+    sp.add_argument(
+        "--max-probe", type=int, default=3,
+        help="largest random fault set drawn per probe",
+    )
+    sp.add_argument("--requests-per-node", type=int, default=20)
+    sp.add_argument(
+        "--availability", type=float, default=0.8,
+        help="availability SLO: min fraction of arrivals not dropped",
+    )
+    sp.add_argument(
+        "--correctness-timeout", type=int, default=5,
+        help="retry-mode request timeout the correctness SLO runs under",
+    )
+    sp.add_argument("--json", action="store_true")
+    sp.add_argument("--out", default=None, help="write the JSON report here")
+    sp.add_argument(
+        "--smoke", action="store_true",
+        help="run a small campaign and exit nonzero on report-schema "
+             "drift or a failed cross-check (CI gate)",
+    )
+    sp.set_defaults(fn=_cmd_campaign)
 
     sp = sub.add_parser("report", help="list regenerated experiment artifacts")
     sp.add_argument("--dir", default="benchmarks/out")

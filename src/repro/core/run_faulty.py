@@ -22,9 +22,14 @@ fault-tolerance experiments need, in three modes (see ``docs/model.md``,
   the earliest unfinished hop always has both endpoints ready.
 * ``mode="retry"`` — the *real* lockstep algorithms run under a
   transient-fault :class:`~repro.simulator.faults.FaultPlan` (message
-  drops and delays); the engine's blocking-drop semantics make the
-  lockstep pair retry until delivery, so the output equals the fault-free
-  output while the cost ledger records every drop and retry.  Permanent
+  drops, delays, and *downtime* intervals — nodes offline for a bounded
+  window, as in churn or a rolling restart); the engine's blocking-drop
+  and hold-while-offline semantics make the lockstep pair retry/stall
+  until delivery, so the output equals the fault-free output while the
+  cost ledger records every drop and retry.  (Pairing a downtime with
+  ``on_timeout="cancel"`` lets partners give up instead, which *can*
+  corrupt results — exactly the correctness violations the campaign
+  driver in :mod:`repro.simulator.campaign` hunts for.)  Permanent
   faults (crashes, link cuts) are rejected here — lockstep programs
   cannot complete without every rank.
 """
@@ -317,7 +322,8 @@ def run_faulty(
     faults:
         Permanent faults for ``degraded``/``reroute`` modes.
     plan:
-        Transient-fault schedule for ``retry`` mode (drops/delays only).
+        Transient-fault schedule for ``retry`` mode (drops, delays and
+        bounded downtime intervals; crashes/cuts are rejected).
     mode:
         ``"degraded"`` | ``"reroute"`` | ``"retry"`` — see module docs.
     """

@@ -42,7 +42,7 @@ __all__ = [
     "cross_validate_timeline",
 ]
 
-FAULT_KINDS = ("drop", "timeout", "crash")
+FAULT_KINDS = ("drop", "timeout", "crash", "leave", "join")
 
 
 @dataclass(frozen=True)
@@ -75,9 +75,11 @@ class FaultEvent:
 
     ``kind`` is one of ``"drop"`` (an in-flight message was lost and will
     be retried), ``"timeout"`` (a request was abandoned/cancelled by the
-    per-request timeout) or ``"crash"`` (a node was killed).  ``rank`` is
-    the affected node; ``src``/``dst`` identify the dropped message's
-    endpoints when meaningful.
+    per-request timeout), ``"crash"`` (a node was killed), ``"leave"`` (a
+    node went offline at the start of a downtime interval) or ``"join"``
+    (it rejoined at the interval's end).  ``rank`` is the affected node;
+    ``src``/``dst`` identify the dropped message's endpoints when
+    meaningful.
     """
 
     cycle: int
@@ -126,11 +128,13 @@ class CycleAggregate:
     drops: int = 0
     timeouts: int = 0
     crashes: int = 0
+    leaves: int = 0
+    joins: int = 0
 
     @property
     def faults(self) -> int:
         """Total fault events this cycle."""
-        return self.drops + self.timeouts + self.crashes
+        return self.drops + self.timeouts + self.crashes + self.leaves + self.joins
 
 
 class TimelineRecorder:
@@ -285,6 +289,8 @@ class TimelineRecorder:
         drops = [0] * (cycles + 1)
         touts = [0] * (cycles + 1)
         crashes = [0] * (cycles + 1)
+        leaves = [0] * (cycles + 1)
+        joins = [0] * (cycles + 1)
         for e in self._events:
             msgs[e.cycle] += 1
             items[e.cycle] += e.size
@@ -301,6 +307,10 @@ class TimelineRecorder:
                 drops[f.cycle] += 1
             elif f.kind == "timeout":
                 touts[f.cycle] += 1
+            elif f.kind == "leave":
+                leaves[f.cycle] += 1
+            elif f.kind == "join":
+                joins[f.cycle] += 1
             else:
                 crashes[f.cycle] += 1
         return [
@@ -312,6 +322,8 @@ class TimelineRecorder:
                 drops=drops[c],
                 timeouts=touts[c],
                 crashes=crashes[c],
+                leaves=leaves[c],
+                joins=joins[c],
             )
             for c in range(1, cycles + 1)
         ]

@@ -48,6 +48,7 @@ __all__ = [
     "run_bench_columnar",
     "run_bench_replay",
     "run_bench_serving",
+    "run_bench_campaign",
     "merge_bench",
     "write_bench",
     "load_bench",
@@ -532,6 +533,83 @@ def run_bench_serving(
     return {
         "schema": SCHEMA_VERSION,
         "suite": "serving",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "seed": seed,
+        "records": [asdict(r) for r in records],
+    }
+
+
+def _campaign_counters(num_nodes: int, result) -> CostCounters:
+    # The campaign's fingerprint lives in the exact-cost fields: probe
+    # evaluations, violation count and minimal-set sizes, and triage class
+    # totals are all pure functions of (topology, seed), so baseline drift
+    # means the search or the simulators underneath it changed behaviour.
+    counters = CostCounters(num_nodes)
+    counters.messages = result.evaluations
+    counters.payload_items = sum(v.size for v in result.violations)
+    counters.max_message_payload = max(
+        (v.size for v in result.violations), default=0
+    )
+    counters.timeouts = len(result.violations)
+    counters.retries = sum(len(v.triage.classes) for v in result.violations)
+    counters.messages_dropped = len(result.cross_checks)
+    return counters
+
+
+def _bench_campaign(
+    n: int, seed: int, repeats: int, *, trials: int = 4
+) -> BenchRecord:
+    from repro.simulator.campaign import run_campaign
+
+    dc = DualCube(n)
+
+    def run() -> CostCounters:
+        result = run_campaign(dc, seed=seed, trials=trials)
+        return _campaign_counters(dc.num_nodes, result)
+
+    wall, counters = _time_best(run, repeats)
+    return _from_counters(
+        "fault_campaign", "campaign", n, dc.num_nodes, wall, counters
+    )
+
+
+def run_bench_campaign(
+    *,
+    max_n: int = 3,
+    repeats: int = 2,
+    smoke: bool = False,
+    seed: int = 0,
+    trials: int = 4,
+) -> dict:
+    """Run the fault-campaign suite and return the JSON-ready payload.
+
+    Sweeps the randomized SLO fault campaign over D_2..D_``max_n``.  Each
+    record's cost columns encode the campaign fingerprint — evaluations as
+    ``messages``, violation count as ``timeouts``, summed and peak minimal
+    fault-set sizes as ``payload_items`` / ``max_message_payload``, triage
+    class totals as ``retries`` — so the regression gate catches any change
+    to probe generation, SLO evaluation, greedy shrinking, or the engines
+    the campaign drives.  ``smoke`` caps the sweep at n = 2 with one repeat
+    — the CI wiring check behind ``make bench-campaign-smoke``.
+    """
+    if max_n < 2:
+        raise ValueError(f"max_n must be >= 2, got {max_n}")
+    if smoke:
+        max_n = 2
+        repeats = 1
+
+    records = [
+        _bench_campaign(n, seed + n, repeats, trials=trials)
+        for n in range(2, max_n + 1)
+    ]
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "campaign",
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "machine": platform.machine(),

@@ -52,6 +52,15 @@ from repro.simulator.engine import (
     use_fault_plan,
     use_timeline,
 )
+from repro.simulator.campaign import (
+    SLO,
+    CampaignError,
+    CampaignResult,
+    run_campaign,
+    churn_downtimes,
+    cluster_outage,
+    rolling_restart,
+)
 
 __all__ = [
     "SimulationError",
@@ -88,4 +97,11 @@ __all__ = [
     "use_matching",
     "use_fault_plan",
     "use_timeline",
+    "SLO",
+    "CampaignError",
+    "CampaignResult",
+    "run_campaign",
+    "churn_downtimes",
+    "cluster_outage",
+    "rolling_restart",
 ]

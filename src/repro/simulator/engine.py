@@ -327,6 +327,14 @@ class Engine:
         retry_count = [0] * n  # drop-forced retries of the current request
         crash_watch = set(fp.node_crashes) if fp is not None else set()
         crashed: list[int] = []
+        has_down = fp is not None and bool(fp.downtimes)
+        # Downtime boundaries for timeline marks: cycle -> [(kind, rank)].
+        down_marks: dict[int, list[tuple[str, int]]] = {}
+        if has_down:
+            for dr, spans in fp.downtimes.items():
+                for start, end in spans:
+                    down_marks.setdefault(start, []).append(("leave", dr))
+                    down_marks.setdefault(end, []).append(("join", dr))
 
         # Decoded request slots (valid where has_req[rank] is set).
         has_req = bytearray(n)
@@ -497,6 +505,10 @@ class Engine:
                     if not npending:
                         break
 
+                if has_down and tl is not None and cycle in down_marks:
+                    for ev_kind, ev_rank in down_marks.pop(cycle):
+                        tl.record_fault(cycle, ev_kind, rank=ev_rank)
+
                 held = 0
                 completed: list[int] = []
                 active_ranks: list[int] = []
@@ -504,8 +516,11 @@ class Engine:
                 for rank in range(n):
                     if not has_req[rank]:
                         continue
-                    if fp is not None and ready_at[rank] > cycle:
-                        held += 1  # issue-delayed: invisible this cycle
+                    if fp is not None and (
+                        ready_at[rank] > cycle
+                        or (has_down and fp.down(rank, cycle))
+                    ):
+                        held += 1  # delayed or offline: invisible this cycle
                         continue
                     if kind[rank] == IDLE:
                         incoming[rank] = None
@@ -716,6 +731,13 @@ class Engine:
         retry_count = [0] * n
         crash_watch = set(fp.node_crashes) if fp is not None else set()
         crashed: list[int] = []
+        has_down = fp is not None and bool(fp.downtimes)
+        down_marks: dict[int, list[tuple[str, int]]] = {}
+        if has_down:
+            for dr, spans in fp.downtimes.items():
+                for start, end in spans:
+                    down_marks.setdefault(start, []).append(("leave", dr))
+                    down_marks.setdefault(end, []).append(("join", dr))
 
         def advance(rank: int, value: Any) -> None:
             gen = gens[rank]
@@ -769,6 +791,10 @@ class Engine:
                 if not pending:
                     break
 
+            if has_down and tl is not None and cycle in down_marks:
+                for ev_kind, ev_rank in down_marks.pop(cycle):
+                    tl.record_fault(cycle, ev_kind, rank=ev_rank)
+
             link_ok = (
                 None
                 if fp is None
@@ -781,8 +807,11 @@ class Engine:
 
             active: dict[int, Request] = {}
             for rank, req in snapshot.items():
-                if fp is not None and ready_at[rank] > cycle:
-                    held += 1  # issue-delayed: invisible this cycle
+                if fp is not None and (
+                    ready_at[rank] > cycle
+                    or (has_down and fp.down(rank, cycle))
+                ):
+                    held += 1  # delayed or offline: invisible this cycle
                 elif isinstance(req, Idle):
                     completed[rank] = None
                 else:
@@ -858,7 +887,9 @@ class Engine:
                 for rank in snapshot:
                     if rank in completed or rank in active:
                         continue
-                    if ready_at[rank] > cycle:
+                    if ready_at[rank] > cycle or (
+                        has_down and fp.down(rank, cycle)
+                    ):
                         continue  # held, not blocked
                     if cycle - issue_cycle[rank] >= fp.timeout:
                         counters.record_timeout()

@@ -16,7 +16,15 @@ recovery semantics"):
 * **message delays** — a seeded draw per *issued* request
   ``(rank, issue_cycle)`` (plus an explicit trigger map); a delayed
   request is invisible to matching for ``d`` cycles, as if the node
-  posted it late.
+  posted it late;
+* **downtimes** — ``(rank, start, end)`` membership intervals: the rank
+  is *offline* for cycles ``start..end-1`` and rejoins at ``end``.
+  Unlike a crash the program survives; its pending request is simply
+  invisible to matching while the node is down (and every link touching
+  the node is down for the interval), so lockstep partners stall and
+  resume when it returns — the primitive behind churn, correlated
+  whole-cluster outages, and rolling-restart sweeps (see
+  ``repro.simulator.campaign``).
 
 Randomness comes from a splitmix-style integer hash of
 ``(seed, kind, endpoints, cycle)`` — a pure function, so verdicts do not
@@ -96,6 +104,10 @@ class FaultPlan:
         (cycle >= 1; cycle 1 means it never completes a request).
     link_cuts:
         ``{(u, v): cycle}`` — the undirected link dies at that cycle.
+    downtimes:
+        ``(rank, start, end)`` triples — the rank is offline for cycles
+        ``start..end-1`` (``1 <= start < end``) and rejoins at ``end``.
+        Intervals for the same rank may not overlap.
     drop_rate:
         Probability in [0, 1] that any delivered message is dropped.
     drops:
@@ -127,6 +139,7 @@ class FaultPlan:
         *,
         node_crashes: Mapping[int, int] | None = None,
         link_cuts: Mapping[tuple[int, int], int] | None = None,
+        downtimes: Iterable[tuple[int, int, int]] = (),
         drop_rate: float = 0.0,
         drops: Iterable[tuple[int, int, int]] = (),
         delay_rate: float = 0.0,
@@ -164,6 +177,27 @@ class FaultPlan:
                     f"cut cycle for link {link} must be >= 1, got {cycle}"
                 )
             self.link_cuts[_norm_link(link)] = cycle
+        self.downtimes: dict[int, tuple[tuple[int, int], ...]] = {}
+        by_rank: dict[int, list[tuple[int, int]]] = {}
+        for rank, start, end in downtimes:
+            rank, start, end = int(rank), int(start), int(end)
+            if start < 1:
+                raise ValueError(
+                    f"downtime start for rank {rank} must be >= 1, got {start}"
+                )
+            if end <= start:
+                raise ValueError(
+                    f"downtime ({rank}, {start}, {end}) must have end > start"
+                )
+            by_rank.setdefault(rank, []).append((start, end))
+        for rank, spans in by_rank.items():
+            spans.sort()
+            for (_, e0), (s1, _) in zip(spans, spans[1:]):
+                if s1 < e0:
+                    raise ValueError(
+                        f"overlapping downtimes for rank {rank}: {spans}"
+                    )
+            self.downtimes[rank] = tuple(spans)
         self.drop_rate = float(drop_rate)
         self.drops = frozenset(
             (int(s), int(d), int(c)) for s, d, c in drops
@@ -171,6 +205,10 @@ class FaultPlan:
         for s, d, c in self.drops:
             if s == d:
                 raise ValueError(f"drop trigger ({s}, {d}, {c}) is a self-loop")
+            if c < 1:
+                raise ValueError(
+                    f"drop trigger ({s}, {d}, {c}) cycle must be >= 1"
+                )
         self.delay_rate = float(delay_rate)
         self.max_delay = int(max_delay)
         self.delays = {
@@ -179,6 +217,13 @@ class FaultPlan:
         for key, d in self.delays.items():
             if d < 1:
                 raise ValueError(f"explicit delay {key} -> {d} must be >= 1")
+            # Initial requests are issued at cycle 0 (before the first
+            # matching cycle), so 0 is a real issue cycle — only negative
+            # keys can never fire.
+            if key[1] < 0:
+                raise ValueError(
+                    f"explicit delay key {key} issue cycle must be >= 0"
+                )
         self.seed = int(seed)
         self.max_retries = int(max_retries)
         self.timeout = timeout
@@ -192,6 +237,7 @@ class FaultPlan:
         return (
             not self.node_crashes
             and not self.link_cuts
+            and not self.downtimes
             and not self.drops
             and self.drop_rate == 0.0
             and self.delay_rate == 0.0
@@ -204,12 +250,23 @@ class FaultPlan:
         crash = self.node_crashes.get(rank)
         return crash is not None and crash <= cycle
 
+    def down(self, rank: int, cycle: int) -> bool:
+        """Whether ``rank`` is unavailable at ``cycle`` (crashed *or* offline)."""
+        if self.crashed(rank, cycle):
+            return True
+        for start, end in self.downtimes.get(rank, ()):
+            if start <= cycle < end:
+                return True
+            if cycle < start:
+                break
+        return False
+
     def link_up(self, u: int, v: int, cycle: int) -> bool:
         """Whether the undirected link ``{u, v}`` is alive at ``cycle``."""
         cut = self.link_cuts.get((min(u, v), max(u, v)))
         if cut is not None and cut <= cycle:
             return False
-        return not (self.crashed(u, cycle) or self.crashed(v, cycle))
+        return not (self.down(u, cycle) or self.down(v, cycle))
 
     def dropped(self, src: int, dst: int, cycle: int) -> bool:
         """Whether the message ``src -> dst`` completing at ``cycle`` is lost."""
@@ -230,11 +287,17 @@ class FaultPlan:
         if u >= self.delay_rate:
             return 0
         # Re-mix the sub-rate part into a uniform delay in 1..max_delay.
-        return 1 + int((u / self.delay_rate) * self.max_delay) % self.max_delay
+        # u/delay_rate is in [0, 1) exactly, but the *float* quotient can
+        # round up to 1.0, so clamp the bucket instead of wrapping it.
+        return 1 + min(
+            int((u / self.delay_rate) * self.max_delay), self.max_delay - 1
+        )
 
     def validate_for(self, topo: Topology) -> None:
         """Check every scheduled fault names a real node/link of ``topo``."""
         for rank in self.node_crashes:
+            topo.check_node(rank)
+        for rank in self.downtimes:
             topo.check_node(rank)
         for s, d, _ in self.drops:
             topo.check_node(s)
@@ -255,6 +318,11 @@ class FaultPlan:
         return StaticFaultView(
             crashes=tuple(sorted(self.node_crashes.items())),
             cuts=tuple(sorted(self.link_cuts.items())),
+            downs=tuple(
+                (rank, start, end)
+                for rank in sorted(self.downtimes)
+                for start, end in self.downtimes[rank]
+            ),
             transient=bool(
                 self.drops
                 or self.drop_rate
@@ -271,6 +339,9 @@ class FaultPlan:
             parts.append(f"crashes={self.node_crashes}")
         if self.link_cuts:
             parts.append(f"cuts={self.link_cuts}")
+        if self.downtimes:
+            spans = sum(len(v) for v in self.downtimes.values())
+            parts.append(f"downtimes={spans} over {len(self.downtimes)} ranks")
         if self.drop_rate or self.drops:
             parts.append(f"drop_rate={self.drop_rate}, drops={len(self.drops)}")
         if self.delay_rate or self.delays:
@@ -290,14 +361,20 @@ class StaticFaultView:
     engine's actual cycle counter, so their effect depends on runtime
     timing; they are summarized by the single :attr:`transient` flag and
     the analyzer refuses plans where it is set (the caller must decide how
-    to over-approximate them).
+    to over-approximate them).  Downtime intervals (:attr:`downs`) are
+    likewise *dynamic*: lockstep stalls make schedule steps drift away
+    from engine cycles, so a step-indexed analysis of a bounded outage
+    window would be unsound — the analyzer refuses those too, and the
+    campaign triage (``repro.simulator.campaign``) over-approximates a
+    downtime as a crash at its start cycle instead.
 
-    ``crashes`` / ``cuts`` are sorted tuples so a view is hashable and two
-    plans with the same structural faults compare equal.
+    ``crashes`` / ``cuts`` / ``downs`` are sorted tuples so a view is
+    hashable and two plans with the same structural faults compare equal.
     """
 
     crashes: tuple[tuple[int, int], ...] = ()
     cuts: tuple[tuple[tuple[int, int], int], ...] = ()
+    downs: tuple[tuple[int, int, int], ...] = ()
     transient: bool = False
     timeout: int | None = None
     on_timeout: str = "raise"
@@ -320,9 +397,12 @@ class StaticFaultView:
         )
 
     def node_dead(self, rank: int, step: int) -> bool:
-        """Whether ``rank`` is dead during lockstep ``step`` (1-based)."""
+        """Whether ``rank`` is unavailable during lockstep ``step`` (1-based)."""
         for r, cycle in self.crashes:
             if r == rank and cycle <= step:
+                return True
+        for r, start, end in self.downs:
+            if r == rank and start <= step < end:
                 return True
         return False
 
@@ -336,4 +416,9 @@ class StaticFaultView:
 
     @property
     def is_empty(self) -> bool:
-        return not self.crashes and not self.cuts and not self.transient
+        return (
+            not self.crashes
+            and not self.cuts
+            and not self.downs
+            and not self.transient
+        )

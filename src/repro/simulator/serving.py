@@ -485,7 +485,15 @@ def run_serving(
     server and loads the link — bounded per hop by ``plan.max_retries``,
     after which the request counts as a drop.  The plan's delay schedule
     stretches individual service times by ``issue_delay(src, cycle)``
-    service units, with ``cycle = floor(t) + 1``.
+    service units, with ``cycle = floor(t) + 1``.  Structural and
+    membership faults use the same wall-clock cycle key: a request
+    arriving at a node that is crashed or inside a downtime interval
+    (``plan.down(src, cycle)``) is refused at admission and counted as a
+    drop, and a crossing whose link is cut — or whose endpoint is down —
+    at that cycle is lost exactly like a transient drop (retransmitted in
+    place up to ``max_retries``).  Plans without structural faults are
+    unaffected bit-for-bit, because the global attempt counter advances
+    identically.
 
     A ``timeline`` (:class:`~repro.obs.timeline.TimelineRecorder`)
     receives one message event per successful hop crossing (bucketed into
@@ -641,6 +649,14 @@ def run_serving(
                     t + cfg.deadline if cfg.deadline is not None else None
                 )
                 req = _Request(i, t, src, dst, path, deadline)
+                if fault_plan is not None and fault_plan.down(
+                    src, cycle_of(t)
+                ):
+                    # The ingress node is crashed or offline (downtime):
+                    # the request is refused at admission and counts as a
+                    # drop — the availability SLO's numerator.
+                    drop_request(req, t, src, src)
+                    continue
                 if len(path) == 1:
                     finish_request(req, t)
                     continue
@@ -667,7 +683,14 @@ def run_serving(
             load[(min(a, b), max(a, b))] += 1
             lq.served += 1
             hops_served += 1
-            if fault_plan is not None and fault_plan.dropped(a, b, attempt):
+            if fault_plan is not None and (
+                fault_plan.dropped(a, b, attempt)
+                # A cut link or a down endpoint (crash/downtime) loses the
+                # crossing exactly like a transient drop: the attempt
+                # counter advanced, so drop-schedule verdicts for plans
+                # without structural faults are unchanged bit-for-bit.
+                or not fault_plan.link_up(a, b, cycle_of(t))
+            ):
                 retransmissions += 1
                 req.tries += 1
                 record_fault(t, "drop", req, a, b)
@@ -704,11 +727,12 @@ def run_serving(
             drop_request(req, t, nk[0], nk[1])
             free_server(key, lq, t)
 
-    elapsed = (
-        cfg.horizon
-        if cfg.horizon is not None and (heap or cfg.horizon < last_t)
-        else last_t
-    )
+    # The observation window is the *full* configured horizon: the run is
+    # open-loop, so a drained event heap just means the tail of the window
+    # was idle — idle time still counts toward utilization/goodput, and
+    # checkpoints scheduled after the last event must still be emitted.
+    # (Without a horizon the window ends at the last event, as before.)
+    elapsed = cfg.horizon if cfg.horizon is not None else last_t
     take_checkpoint(elapsed)
     if timeline is not None and elapsed > 0:
         timeline.set_cycles(int(math.ceil(elapsed)))

@@ -81,7 +81,13 @@ def render_route(dc: DualCube, path: Sequence[int]) -> str:
 _HEAT_RAMP = " .:-=+*#%@"
 
 #: Fault markers in severity order (a crash outranks a timeout outranks a drop).
-_FAULT_MARKS = (("crashes", "C"), ("timeouts", "T"), ("drops", "D"))
+_FAULT_MARKS = (
+    ("crashes", "C"),
+    ("leaves", "L"),
+    ("joins", "J"),
+    ("timeouts", "T"),
+    ("drops", "D"),
+)
 
 
 def render_timeline_heatmap(
@@ -95,7 +101,7 @@ def render_timeline_heatmap(
     ``ramp`` (space = idle, last character = the run's peak per-cell
     load).  When the run recorded faults, a ``faults`` row marks each
     cycle with the most severe fault kind that struck it (``C`` = crash,
-    ``T`` = timeout, ``D`` = drop).
+    ``L`` = leave, ``J`` = join, ``T`` = timeout, ``D`` = drop).
     """
     if len(ramp) < 2:
         raise ValueError("ramp needs at least 2 characters (idle + loaded)")
@@ -141,7 +147,7 @@ def render_timeline_heatmap(
                     break
             marks.append(mark)
         lines.append(f"{'faults'.rjust(width)}  " + "".join(marks))
-        lines.append("  (C=crash, T=timeout, D=drop)")
+        lines.append("  (C=crash, L=leave, J=join, T=timeout, D=drop)")
     lines.append(f"  scale: '{ramp[0]}'=0 ... '{ramp[-1]}'={peak}")
     return "\n".join(lines)
 

@@ -154,6 +154,15 @@ class TestAnalyzeFaultImpact:
         with pytest.raises(ValueError, match="drop/delay"):
             analyze_fault_impact(sched, FaultPlan(drop_rate=0.5, seed=1))
 
+    def test_downtime_plan_rejected(self, d2_prefix):
+        # Bounded outages stall the lockstep, so schedule steps drift
+        # from engine cycles: a step-indexed window analysis would be
+        # unsound.  The analyzer demands the structural
+        # over-approximation instead.
+        _, sched = d2_prefix
+        with pytest.raises(ValueError, match="downtime"):
+            analyze_fault_impact(sched, FaultPlan(downtimes=[(0, 2, 4)]))
+
     def test_incomplete_baseline_rejected(self, d2_prefix):
         _, sched = d2_prefix
         imp = analyze_fault_impact(sched, FaultSet(links=[(0, 1)]))

@@ -158,6 +158,8 @@ class TestFeeds:
         assert sorted(m.labels["kind"] for m in fault_counters) == [
             "crash",
             "drop",
+            "join",
+            "leave",
             "timeout",
         ]
 

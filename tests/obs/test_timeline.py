@@ -41,7 +41,9 @@ class TestEvents:
         t.record_fault(1, "drop", rank=0, src=0, dst=1)
         t.record_fault(2, "drop", rank=3)
         t.record_fault(5, "crash", rank=1)
-        assert t.fault_counts() == {"drop": 2, "timeout": 0, "crash": 1}
+        assert t.fault_counts() == {
+            "drop": 2, "timeout": 0, "crash": 1, "leave": 0, "join": 0,
+        }
 
     def test_bad_num_nodes_rejected(self):
         with pytest.raises(ValueError, match="positive"):

@@ -118,6 +118,23 @@ class TestFaultEvents:
         crash = next(f for f in t.faults if f.kind == "crash")
         assert crash.rank == 1 and crash.cycle == 1
 
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_downtime_leave_and_join_recorded(self, matching):
+        h = Hypercube(1)
+        plan = FaultPlan(downtimes=[(1, 1, 3)])
+        t = TimelineRecorder(num_nodes=2)
+        r = run_spmd(h, pairswap, fault_plan=plan, timeline=t,
+                     matching=matching)
+        assert r.returns == [1, 0]  # exchange completed after the rejoin
+        leaves = [(f.cycle, f.rank) for f in t.faults if f.kind == "leave"]
+        joins = [(f.cycle, f.rank) for f in t.faults if f.kind == "join"]
+        assert leaves == [(1, 1)]
+        assert joins == [(3, 1)]
+        aggs = {a.cycle: a for a in t.cycle_aggregates()}
+        assert aggs[1].leaves == 1 and aggs[3].joins == 1
+        # leave/join count toward the per-cycle fault total.
+        assert aggs[1].faults >= 1 and aggs[3].faults >= 1
+
 
 class TestVectorizedWiring:
     def test_attach_timeline_mirrors_bulk_rounds(self):

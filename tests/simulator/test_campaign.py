@@ -1,0 +1,258 @@
+"""Dynamic SLO fault campaigns: generators, search, and cross-checks.
+
+The campaign's headline guarantee is soundness against the static
+analyzer: its randomized search over *dynamic* fault schedules may be
+incomplete, but on structural-only SLOs it must never report a violating
+set smaller than the proven-exact static minimum cut — that would mean
+one of the two engines is lying.  The suite pins that invariant on
+D_2..D_4, plus byte-level determinism of the whole report, the schema
+gate behind ``repro campaign --smoke``, and the element-to-plan /
+element-to-view projections the search trades in.
+"""
+
+import json
+
+import pytest
+
+from repro.simulator import FaultPlan
+from repro.simulator.campaign import (
+    CAMPAIGN_SCHEMA,
+    SLO,
+    CampaignResult,
+    churn_downtimes,
+    cluster_outage,
+    default_slos,
+    plan_from_elements,
+    rolling_restart,
+    run_campaign,
+    structural_overapproximation,
+    validate_report,
+)
+from repro.topology import DualCube
+
+
+class TestChurnDowntimes:
+    def test_deterministic_and_valid(self):
+        dc = DualCube(2)
+        a = churn_downtimes(dc, events=6, duration=3, horizon=20, seed=4)
+        b = churn_downtimes(dc, events=6, duration=3, horizon=20, seed=4)
+        assert a == b
+        assert len(a) == 6
+        # The triples are a valid FaultPlan input (no per-rank overlap).
+        plan = FaultPlan(downtimes=a)
+        assert not plan.is_empty
+        plan.validate_for(dc)
+        for rank, start, end in a:
+            assert 0 <= rank < dc.num_nodes
+            assert 1 <= start <= 20
+            assert end == start + 3
+
+    def test_seeds_differ(self):
+        dc = DualCube(2)
+        a = churn_downtimes(dc, events=6, duration=3, horizon=20, seed=1)
+        b = churn_downtimes(dc, events=6, duration=3, horizon=20, seed=2)
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"events": -1, "duration": 1, "horizon": 5},
+            {"events": 1, "duration": 0, "horizon": 5},
+            {"events": 1, "duration": 1, "horizon": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kw):
+        with pytest.raises(ValueError):
+            churn_downtimes(DualCube(2), **kw)
+
+
+class TestClusterOutage:
+    def test_covers_exactly_one_cluster(self):
+        dc = DualCube(2)
+        triples = cluster_outage(dc, 1, 1, start=3, end=8)
+        assert sorted(r for r, _, _ in triples) == sorted(
+            dc.cluster_members(1, 1)
+        )
+        assert all((s, e) == (3, 8) for _, s, e in triples)
+        FaultPlan(downtimes=triples).validate_for(dc)
+
+
+class TestRollingRestart:
+    def test_every_node_restarts_exactly_once(self):
+        dc = DualCube(2)
+        triples = rolling_restart(dc, duration=4)
+        assert sorted(r for r, _, _ in triples) == list(range(dc.num_nodes))
+        FaultPlan(downtimes=triples).validate_for(dc)
+
+    def test_default_stagger_is_back_to_back(self):
+        dc = DualCube(2)
+        triples = rolling_restart(dc, duration=4, start=1)
+        windows = sorted({(s, e) for _, s, e in triples})
+        # One window per cluster, each starting where the previous ended.
+        assert len(windows) == 2 * dc.clusters_per_class
+        for (s0, e0), (s1, e1) in zip(windows, windows[1:]):
+            assert s1 == e0
+        # Never two clusters down at once under the default stagger.
+        assert all(e - s == 4 for s, e in windows)
+
+    def test_overlapping_stagger_allowed(self):
+        dc = DualCube(2)
+        triples = rolling_restart(dc, duration=6, stagger=2)
+        plan = FaultPlan(downtimes=triples)
+        # With stagger < duration, consecutive waves overlap in time.
+        starts = sorted({s for _, s, _ in triples})
+        assert starts[1] - starts[0] == 2
+        assert plan.down(triples[0][0], triples[0][1])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_restart(DualCube(2), duration=0)
+        with pytest.raises(ValueError):
+            rolling_restart(DualCube(2), duration=2, stagger=0)
+
+
+class TestElementProjections:
+    def test_plan_from_elements_maps_all_kinds(self):
+        dc = DualCube(2)
+        plan = plan_from_elements(
+            dc,
+            [
+                ("node", 3),
+                ("link", (0, 1)),
+                ("down", (5, 2, 6)),
+                ("outage", (0, 0, 4, 7)),
+            ],
+        )
+        assert plan.node_crashes == {3: 1}
+        assert not plan.link_up(0, 1, 1)
+        assert plan.down(5, 2) and not plan.down(5, 6)
+        for r in dc.cluster_members(0, 0):
+            assert plan.down(r, 4) and not plan.down(r, 7)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="node/link/down/outage"):
+            plan_from_elements(DualCube(2), [("meteor", 0)])
+
+    def test_overapproximation_turns_downs_into_crashes(self):
+        dc = DualCube(2)
+        view = structural_overapproximation(
+            dc, [("down", (5, 4, 9)), ("node", 2), ("link", (0, 1))]
+        )
+        assert view.downs == ()  # acceptable to the static analyzer
+        assert (5, 4) in view.crashes and (2, 1) in view.crashes
+        assert view.cuts == (((0, 1), 1),)
+
+    def test_overapproximation_outage_uses_earliest_start(self):
+        dc = DualCube(2)
+        members = dc.cluster_members(0, 0)
+        r = members[0]
+        view = structural_overapproximation(
+            dc, [("outage", (0, 0, 7, 9)), ("down", (r, 3, 5))]
+        )
+        crashes = dict(view.crashes)
+        assert crashes[r] == 3  # min over the two windows
+        for other in members[1:]:
+            assert crashes[other] == 7
+
+
+class TestSLOs:
+    def test_default_family(self):
+        slos = default_slos(availability=0.9)
+        assert [s.kind for s in slos] == [
+            "availability", "p99", "correctness", "recovery",
+        ]
+        assert slos[0].threshold == 0.9
+        assert slos[1].threshold is None  # resolved from the baseline
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="SLO kind"):
+            SLO("bogus", "uptime")
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def d2_result(self):
+        return run_campaign(2, seed=0, trials=4)
+
+    def test_returns_result_with_violations(self, d2_result):
+        assert isinstance(d2_result, CampaignResult)
+        assert d2_result.topology == "D_2"
+        assert d2_result.violations  # D_2 is fragile enough to break
+        assert d2_result.evaluations > 0
+        assert d2_result.ok
+
+    def test_every_violation_is_triaged_and_minimal_shaped(self, d2_result):
+        for v in d2_result.violations:
+            assert v.size == len(v.elements) >= 1
+            assert v.triage.classes is not None
+            assert v.triage.lost_messages >= 0
+
+    def test_byte_identical_under_fixed_seed(self, d2_result):
+        again = run_campaign(2, seed=0, trials=4)
+        a = json.dumps(d2_result.to_dict(), sort_keys=True)
+        b = json.dumps(again.to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_report_schema_validates(self, d2_result):
+        report = d2_result.to_dict()
+        assert report["schema"] == CAMPAIGN_SCHEMA
+        assert validate_report(report) == []
+
+    def test_schema_drift_detected(self, d2_result):
+        report = json.loads(json.dumps(d2_result.to_dict()))
+        report["surprise"] = 1
+        del report["evaluations"]
+        problems = validate_report(report)
+        assert any("surprise" in p for p in problems)
+        assert any("evaluations" in p for p in problems)
+
+    def test_table_renders(self, d2_result):
+        text = d2_result.render_table()
+        assert "campaign on D_2" in text
+        assert "cross-check" in text
+
+    @pytest.mark.parametrize("kw", [{"trials": 0}, {"max_probe": 0}])
+    def test_bad_parameters_rejected(self, kw):
+        with pytest.raises(ValueError):
+            run_campaign(2, **{"trials": 1, "max_probe": 1, **kw})
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_dynamic_never_beats_exact_static_cut(self, n):
+        # Soundness floor: on the structural recovery SLO the randomized
+        # dynamic search can only ever find sets at least as large as
+        # the proven-exact static minimum node cut.
+        result = run_campaign(
+            n,
+            seed=0,
+            trials=2,
+            slos=(SLO("recovery_all_included", "recovery"),),
+        )
+        assert result.ok
+        for check in result.cross_checks:
+            assert check.static_exact
+            if check.dynamic_size is not None:
+                assert check.dynamic_size >= check.static_size
+
+
+class TestCampaignCLI:
+    def test_smoke_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke ok" in out
+
+    def test_json_report_validates(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "campaign.json"
+        assert main([
+            "campaign", "-n", "2", "--trials", "2", "--json",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # Skip the "wrote <path>" status line ahead of the JSON body.
+        printed = json.loads(out[out.index("{"):])
+        on_disk = json.loads(out_path.read_text())
+        assert printed == on_disk
+        assert validate_report(on_disk) == []

@@ -8,7 +8,7 @@ no plan at all.
 
 import pytest
 
-from repro.core.dual_prefix import dual_prefix_engine
+from repro.core.dual_prefix import dual_prefix_engine, dual_prefix_program
 from repro.core.dual_sort import dual_sort_engine
 from repro.core.ops import ADD
 from repro.simulator import (
@@ -340,3 +340,175 @@ class TestUseFaultPlan:
             assert r.counters.messages_dropped == 1
         r = run_spmd(dc, pairswap)
         assert r.counters.messages_dropped == 0
+
+
+class TestValidationGaps:
+    """Schedule keys that can never fire are configuration bugs: reject
+    them at construction instead of silently matching nothing."""
+
+    @pytest.mark.parametrize("cycle", [0, -1, -7])
+    def test_drop_trigger_cycle_before_first_match_rejected(self, cycle):
+        # Messages first cross links at matching cycle 1; a trigger at
+        # cycle 0 or below can never match an in-flight message.
+        with pytest.raises(ValueError, match="cycle must be >= 1"):
+            FaultPlan(drops=[(0, 1, cycle)])
+
+    def test_drop_trigger_cycle_one_accepted(self):
+        assert not FaultPlan(drops=[(0, 1, 1)]).is_empty
+
+    def test_delay_negative_issue_cycle_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan(delays={(0, -1): 2})
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_delay_issue_cycle_zero_fires(self, matching):
+        # Initial requests are issued at cycle 0, before the first
+        # matching cycle, so (rank, 0) keys are real and must fire.
+        h = Hypercube(1)
+        plain = run_spmd(h, pairswap, matching=matching)
+        delayed = run_spmd(
+            h, pairswap, fault_plan=FaultPlan(delays={(0, 0): 4}),
+            matching=matching,
+        )
+        assert delayed.returns == plain.returns
+        assert delayed.comm_steps > plain.comm_steps
+
+    def test_issue_delay_clamps_at_upper_boundary(self):
+        # Regression: the draw used to wrap modulo max_delay, so a
+        # uniform draw at the top of the window produced a 1-cycle delay
+        # instead of the maximum.  The clamp keeps every draw in
+        # [1, max_delay] and the extremes stay reachable.
+        for max_delay in (1, 2, 3, 7):
+            plan = FaultPlan(delay_rate=1.0, max_delay=max_delay, seed=13)
+            seen = {
+                plan.issue_delay(r, c) for r in range(16) for c in range(64)
+            }
+            assert min(seen) >= 1
+            assert max(seen) <= max_delay
+            if max_delay > 1:
+                # A quarter of draws land in each band at rate 1.0; 1024
+                # draws make missing either extreme astronomically rare.
+                assert 1 in seen and max_delay in seen
+
+    def test_issue_delay_pure_across_instances(self):
+        a = FaultPlan(delay_rate=0.7, max_delay=5, seed=21)
+        b = FaultPlan(delay_rate=0.7, max_delay=5, seed=21)
+        draws_a = [a.issue_delay(r, c) for r in range(8) for c in range(32)]
+        draws_b = [b.issue_delay(r, c) for r in range(8) for c in range(32)]
+        assert draws_a == draws_b
+
+
+class TestDowntimeValidation:
+    def test_basic_downtime_accepted(self):
+        plan = FaultPlan(downtimes=[(1, 2, 5)])
+        assert not plan.is_empty
+        assert plan.downtimes == {1: ((2, 5),)}
+
+    @pytest.mark.parametrize("interval", [(5, 5), (5, 2), (-1, 3)])
+    def test_degenerate_intervals_rejected(self, interval):
+        with pytest.raises(ValueError):
+            FaultPlan(downtimes=[(0, *interval)])
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            FaultPlan(downtimes=[(0, 1, 4), (0, 3, 6)])
+
+    def test_touching_intervals_allowed_and_sorted(self):
+        plan = FaultPlan(downtimes=[(0, 4, 6), (0, 1, 4)])
+        assert plan.downtimes[0] == ((1, 4), (4, 6))
+        assert all(plan.down(0, c) for c in range(1, 6))
+
+    def test_validate_for_checks_ranks(self):
+        dc = DualCube(2)
+        with pytest.raises(ValueError):
+            FaultPlan(downtimes=[(dc.num_nodes, 1, 2)]).validate_for(dc)
+        FaultPlan(downtimes=[(0, 1, 2)]).validate_for(dc)
+
+    def test_down_interval_is_half_open(self):
+        plan = FaultPlan(downtimes=[(3, 2, 4)])
+        assert not plan.down(3, 1)
+        assert plan.down(3, 2)
+        assert plan.down(3, 3)
+        assert not plan.down(3, 4)  # rejoined
+
+    def test_crash_implies_down(self):
+        plan = FaultPlan(node_crashes={2: 3})
+        assert not plan.down(2, 2)
+        assert plan.down(2, 3) and plan.down(2, 99)
+
+    def test_link_up_consults_downtimes(self):
+        plan = FaultPlan(downtimes=[(1, 2, 4)])
+        assert plan.link_up(0, 1, 1)
+        assert not plan.link_up(0, 1, 2)
+        assert not plan.link_up(1, 0, 3)
+        assert plan.link_up(0, 1, 4)
+
+    def test_static_view_carries_downs(self):
+        view = FaultPlan(downtimes=[(1, 2, 4), (0, 1, 2)]).static_view()
+        assert view.downs == ((0, 1, 2), (1, 2, 4))
+        assert not view.is_empty
+
+
+class TestDowntimeEngine:
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_downtime_stalls_but_preserves_results(self, matching):
+        # An offline window only delays the exchange: the rejoined node
+        # completes its program and every return value matches the
+        # fault-free run.
+        h = Hypercube(1)
+        plain = run_spmd(h, pairswap, matching=matching)
+        plan = FaultPlan(downtimes=[(1, 1, 5)])
+        faulty = run_spmd(h, pairswap, fault_plan=plan, matching=matching)
+        assert faulty.returns == plain.returns
+        assert faulty.crashed_ranks == ()
+        assert faulty.comm_steps >= plain.comm_steps + 4
+
+    def test_matchers_agree_under_downtimes(self):
+        dc = DualCube(2)
+        vals = list(range(dc.num_nodes))
+        plan = dict(downtimes=[(3, 2, 6), (5, 1, 3), (5, 7, 9)])
+        fps = {
+            m: _fingerprint(
+                run_spmd(
+                    dc,
+                    dual_prefix_program(dc, vals, ADD),
+                    fault_plan=FaultPlan(**plan),
+                    matching=m,
+                )
+            )
+            for m in MATCHERS
+        }
+        assert fps["indexed"] == fps["legacy"]
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_dual_prefix_values_survive_churn(self, matching):
+        dc = DualCube(2)
+        vals = list(range(dc.num_nodes))
+        expect, _ = dual_prefix_engine(dc, vals, ADD)
+        plan = FaultPlan(downtimes=[(0, 2, 4), (6, 3, 7)])
+        with use_fault_plan(plan):
+            with use_matching(matching):
+                got, _ = dual_prefix_engine(dc, vals, ADD)
+        assert list(got) == list(expect)
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_partner_timeout_can_fire_while_peer_is_down(self, matching):
+        # The held (offline) rank's own clock is suspended, but a healthy
+        # partner waiting on it still times out like any other stall.
+        h = Hypercube(1)
+        plan = FaultPlan(
+            downtimes=[(1, 1, 9)], timeout=3, on_timeout="raise"
+        )
+        with pytest.raises(RequestTimeoutError):
+            run_spmd(h, pairswap, fault_plan=plan, matching=matching)
+
+    @pytest.mark.parametrize("matching", MATCHERS)
+    def test_down_rank_does_not_timeout_while_offline(self, matching):
+        # With cancel semantics the down rank must not burn its timeout
+        # budget while offline: after rejoining, the exchange completes.
+        h = Hypercube(1)
+        plan = FaultPlan(
+            downtimes=[(1, 1, 3)], timeout=10, on_timeout="cancel"
+        )
+        r = run_spmd(h, pairswap, fault_plan=plan, matching=matching)
+        assert r.returns == [1, 0]

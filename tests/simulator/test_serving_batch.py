@@ -244,3 +244,72 @@ class TestFindSaturation:
         # Seed-stability: the published E18 numbers reproduce.
         again = find_saturation(dc, lambda u, v: route(dc, u, v), seed=0)
         assert again == r_dc
+
+
+class TestServingMembershipFaults:
+    """Downtime/crash membership threaded into the live queues."""
+
+    def test_down_source_refused_at_admission(self):
+        cube = Hypercube(1)
+        plan = FaultPlan(downtimes=[(0, 1, 3)])
+        stats = run_serving(
+            cube, hypercube_dimension_order_path, [0.5], [(0, 1)],
+            fault_plan=plan,
+        )
+        # cycle_of(0.5) = 1 is inside [1, 3): refused on arrival.
+        assert stats.drops == 1
+        assert stats.completions == 0
+        assert stats.conservation_ok()
+
+    def test_source_up_again_after_interval_admits(self):
+        cube = Hypercube(1)
+        plan = FaultPlan(downtimes=[(0, 1, 3)])
+        stats = run_serving(
+            cube, hypercube_dimension_order_path, [3.5], [(0, 1)],
+            fault_plan=plan,
+        )
+        assert stats.drops == 0
+        assert stats.completions == 1
+
+    def test_down_endpoint_blocks_crossing_until_rejoin(self):
+        # Source is healthy; the destination is offline when service
+        # would complete, so the crossing retransmits in place and only
+        # lands after the rejoin.
+        cube = Hypercube(1)
+        plan = FaultPlan(downtimes=[(1, 1, 4)])
+        stats = run_serving(
+            cube, hypercube_dimension_order_path, [0.25], [(0, 1)],
+            fault_plan=plan,
+        )
+        assert stats.completions == 1
+        assert stats.retransmissions >= 1
+        assert stats.max_sojourn > 1.0  # waited out the outage
+        assert stats.conservation_ok()
+
+    def test_down_endpoint_exhausts_retries_into_drop(self):
+        cube = Hypercube(1)
+        plan = FaultPlan(downtimes=[(1, 1, 100)], max_retries=3)
+        stats = run_serving(
+            cube, hypercube_dimension_order_path, [0.25], [(0, 1)],
+            fault_plan=plan,
+        )
+        assert stats.completions == 0
+        assert stats.drops == 1
+        # Every lost attempt counts, including the one that exhausts the
+        # budget: max_retries in-place retransmissions + the final loss.
+        assert stats.retransmissions == 4
+        assert stats.conservation_ok()
+
+    def test_drop_only_plans_unaffected_by_membership_hooks(self):
+        # The membership checks consult the same attempt counter stream:
+        # a plan with no structural faults reproduces the pre-membership
+        # results bit for bit.
+        dc = DualCube(2)
+        arrivals = np.sort(np.abs(np.sin(np.arange(1, 41)))) * 10.0
+        pairs = open_loop_pairs(dc, 40, seed=9)
+        plan = lambda: FaultPlan(drop_rate=0.1, seed=5, max_retries=50)
+        a = run_serving(dc, lambda u, v: route(dc, u, v), arrivals, pairs,
+                        fault_plan=plan())
+        b = run_serving(dc, lambda u, v: route(dc, u, v), arrivals, pairs,
+                        fault_plan=plan())
+        assert repr(a) == repr(b)

@@ -159,6 +159,50 @@ class TestConservation:
             assert cur.drops >= prev.drops
             assert cur.deadline_misses >= prev.deadline_misses
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(1, 60),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(["drop", "block"]),
+        st.booleans(),
+    )
+    def test_early_drain_trailing_checkpoints_conserve(
+        self, num, seed, policy, faulty
+    ):
+        # The workload drains long before the horizon; the trailing
+        # checkpoints over the idle tail must keep the identity and
+        # freeze at the final totals (regression: they used to stop at
+        # the last event instead of covering the configured window).
+        arrivals, pairs = _workload(num, seed, rate=5.0)
+        horizon = float(np.ceil(arrivals[-1])) + 25.0
+        cfg = ServingConfig(
+            queue_capacity=1 if policy == "block" else None,
+            policy=policy,
+            horizon=horizon,
+            checkpoint_every=2.0,
+        )
+        plan = (
+            FaultPlan(drop_rate=0.2, seed=seed % 911, max_retries=30)
+            if faulty
+            else None
+        )
+        stats = run_serving(
+            _DC, _router, arrivals, pairs, config=cfg, fault_plan=plan
+        )
+        assert stats.elapsed == horizon
+        assert stats.conservation_ok()
+        for c in stats.checkpoints:
+            assert c.arrivals == (
+                c.completions + c.drops + c.deadline_misses + c.in_flight
+            )
+        # The series reaches the end of the window, not the last event.
+        assert stats.checkpoints[-1].time == pytest.approx(
+            2.0 * int(horizon // 2.0)
+        )
+        tail = stats.checkpoints[-1]
+        assert tail.arrivals == stats.arrivals
+        assert tail.in_flight == stats.in_flight
+
     @settings(max_examples=25, deadline=None)
     @given(st.integers(1, 50), st.integers(0, 2**31 - 1))
     def test_blocking_policy_conserves_at_horizon(self, num, seed):
@@ -171,3 +215,62 @@ class TestConservation:
         assert stats.drops == 0  # backpressure never discards
         # Whatever did not finish by the horizon is in flight.
         assert stats.in_flight == stats.arrivals - stats.finished
+
+
+class TestHorizonWindowAccounting:
+    """The configured horizon *is* the observation window.
+
+    Regression suite for the elapsed-time bug: a run that drained before
+    its horizon used to report rates over the last-event time instead of
+    the full configured window, inflating goodput, utilization and queue
+    occupancy, and truncating the trailing checkpoint series.
+    """
+
+    def _drained_run(self, horizon):
+        arrivals = np.array([0.5, 1.0, 1.5, 2.0])
+        pairs = open_loop_pairs(_DC, 4, seed=3)
+        cfg = ServingConfig(horizon=horizon, checkpoint_every=4.0)
+        return run_serving(_DC, _router, arrivals, pairs, config=cfg)
+
+    def test_idle_tail_counts_toward_elapsed(self):
+        stats = self._drained_run(40.0)
+        assert stats.in_flight == 0  # drained long before the horizon
+        assert stats.elapsed == 40.0
+        assert stats.goodput == pytest.approx(stats.completions / 40.0)
+
+    def test_checkpoints_cover_the_idle_tail(self):
+        stats = self._drained_run(40.0)
+        assert [c.time for c in stats.checkpoints] == [
+            4.0 * k for k in range(1, 11)
+        ]
+        tail = stats.checkpoints[-1]
+        assert tail.arrivals == 4
+        assert tail.in_flight == 0
+        assert tail.completions == stats.completions
+
+    def test_rates_dilute_with_longer_window(self):
+        short = self._drained_run(10.0)
+        long = self._drained_run(50.0)
+        # Same drained workload, 5x window: every rate shrinks 5x.
+        assert long.completions == short.completions
+        assert long.goodput == pytest.approx(short.goodput / 5.0)
+        assert long.utilization == pytest.approx(short.utilization / 5.0)
+        for key, occ in long.occupancy.items():
+            assert occ.utilization == pytest.approx(
+                short.occupancy[key].utilization / 5.0
+            )
+            assert occ.mean_queue == pytest.approx(
+                short.occupancy[key].mean_queue / 5.0
+            )
+
+    def test_unbounded_run_ends_at_last_event(self):
+        arrivals = np.array([0.5, 1.0, 1.5, 2.0])
+        pairs = open_loop_pairs(_DC, 4, seed=3)
+        cfg = ServingConfig(checkpoint_every=4.0)
+        stats = run_serving(_DC, _router, arrivals, pairs, config=cfg)
+        # No horizon: the window ends with the last event, well before
+        # the bounded runs' tails, and rates use that shorter window.
+        assert 2.0 <= stats.elapsed < 10.0
+        assert stats.goodput == pytest.approx(
+            stats.completions / stats.elapsed
+        )
