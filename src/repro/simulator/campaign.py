@@ -44,9 +44,11 @@ from __future__ import annotations
 
 import math
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.simulator.errors import SimulationError
 from repro.simulator.faults import FaultPlan, StaticFaultView
 from repro.simulator.serving import (
     ServingConfig,
@@ -130,6 +132,12 @@ def churn_downtimes(
     a rank that is already down at an overlapping window are re-rolled
     (downtime intervals per rank may not overlap), so the schedule is
     always a valid :class:`~repro.simulator.faults.FaultPlan` input.
+
+    Best-effort on saturation: when the re-roll loop cannot place more
+    non-overlapping episodes (every node is already down everywhere the
+    draws land), the schedule is truncated to what fit and a
+    :class:`RuntimeWarning` is emitted — check ``len(result)`` against
+    ``events`` if the experiment requires the full count.
     """
     if events < 0:
         raise ValueError(f"events must be >= 0, got {events}")
@@ -144,7 +152,14 @@ def churn_downtimes(
     while len(out) < events:
         attempts += 1
         if attempts > 100 * max(1, events):
-            break  # saturated: every node is down everywhere
+            warnings.warn(
+                f"churn_downtimes saturated: placed {len(out)} of "
+                f"{events} requested episodes (duration={duration}, "
+                f"horizon={horizon}, {dc.num_nodes} nodes)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            break
         rank = rng.randrange(dc.num_nodes)
         start = rng.randint(1, horizon)
         end = start + duration
@@ -205,6 +220,34 @@ def rolling_restart(
 #   ("outage", (cls, cluster, start, end))  one correlated cluster outage
 
 
+def _coalesce_downtimes(
+    downs: Iterable[tuple[int, int, int]]
+) -> list[tuple[int, int, int]]:
+    """Merge overlapping/adjacent per-rank downtime spans into their union.
+
+    Fault elements are drawn independently, so a probe can hold two
+    ``down`` spans for the same rank (or a ``down`` plus a covering
+    ``outage``) whose windows overlap.  The *union* of the windows is
+    exactly what such a set denotes, and :class:`FaultPlan` rejects raw
+    overlapping intervals, so coalesce before constructing the plan.
+    """
+    per_rank: dict[int, list[tuple[int, int]]] = {}
+    for r, s, e in downs:
+        per_rank.setdefault(r, []).append((s, e))
+    out: list[tuple[int, int, int]] = []
+    for r, spans in per_rank.items():
+        spans.sort()
+        cur_s, cur_e = spans[0]
+        for s, e in spans[1:]:
+            if s <= cur_e:  # overlapping or adjacent: extend the union
+                cur_e = max(cur_e, e)
+            else:
+                out.append((r, cur_s, cur_e))
+                cur_s, cur_e = s, e
+        out.append((r, cur_s, cur_e))
+    return sorted(out)
+
+
 def plan_from_elements(
     dc: DualCube,
     elements: Iterable[tuple],
@@ -238,7 +281,7 @@ def plan_from_elements(
     return FaultPlan(
         node_crashes=crashes,
         link_cuts=cuts,
-        downtimes=downs,
+        downtimes=_coalesce_downtimes(downs),
         seed=seed,
         max_retries=max_retries,
         timeout=timeout,
@@ -623,7 +666,7 @@ class _Evaluator:
                     "prefix", self.dc, self.data, op=self._op,
                     plan=plan, mode="retry",
                 ).values
-            except Exception as exc:  # timeout/retry-limit/deadlock
+            except SimulationError as exc:  # timeout/retry-limit/deadlock
                 return True, type(exc).__name__
             return out != self.oracle, "mismatch" if out != self.oracle else "match"
         # recovery: structural elements only, degraded collective.

@@ -65,6 +65,19 @@ class TestChurnDowntimes:
         with pytest.raises(ValueError):
             churn_downtimes(DualCube(2), **kw)
 
+    def test_saturation_warns_not_silent(self):
+        # More episodes than the machine can hold (duration covers the
+        # whole horizon, so at most one episode per rank fits): the
+        # schedule is truncated best-effort, but never silently.
+        dc = DualCube(2)
+        with pytest.warns(RuntimeWarning, match="saturated"):
+            out = churn_downtimes(
+                dc, events=10 * dc.num_nodes, duration=50, horizon=10,
+                seed=0,
+            )
+        assert 0 < len(out) <= dc.num_nodes
+        FaultPlan(downtimes=out).validate_for(dc)
+
 
 class TestClusterOutage:
     def test_covers_exactly_one_cluster(self):
@@ -132,6 +145,37 @@ class TestElementProjections:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="node/link/down/outage"):
             plan_from_elements(DualCube(2), [("meteor", 0)])
+
+    def test_overlapping_downs_coalesced(self):
+        # Regression: independent element draws can put two overlapping
+        # downtime windows on the same rank (e.g. the correctness
+        # universe's long and short spans); the plan must denote their
+        # union, not raise FaultPlan's overlap ValueError.
+        dc = DualCube(2)
+        plan = plan_from_elements(
+            dc, [("down", (4, 2, 9)), ("down", (4, 3, 4))]
+        )
+        assert plan.downtimes == {4: ((2, 9),)}
+        assert plan.down(4, 2) and plan.down(4, 8) and not plan.down(4, 9)
+
+    def test_down_inside_covering_outage_coalesced(self):
+        # A per-rank "down" plus a cluster "outage" covering the same
+        # rank over the identical window — the availability universe's
+        # shape — must also collapse into one interval per rank.
+        dc = DualCube(2)
+        r = dc.cluster_members(0, 0)[0]
+        plan = plan_from_elements(
+            dc, [("down", (r, 4, 7)), ("outage", (0, 0, 4, 7))]
+        )
+        assert plan.downtimes[r] == ((4, 7),)
+        plan.validate_for(dc)
+
+    def test_adjacent_downs_merge_disjoint_stay(self):
+        dc = DualCube(2)
+        plan = plan_from_elements(
+            dc, [("down", (1, 2, 4)), ("down", (1, 4, 6)), ("down", (1, 8, 9))]
+        )
+        assert plan.downtimes == {1: ((2, 6), (8, 9))}
 
     def test_overapproximation_turns_downs_into_crashes(self):
         dc = DualCube(2)
@@ -215,6 +259,39 @@ class TestRunCampaign:
     def test_bad_parameters_rejected(self, kw):
         with pytest.raises(ValueError):
             run_campaign(2, **{"trials": 1, "max_probe": 1, **kw})
+
+    def test_overlap_prone_seed_completes(self):
+        # Regression: seed 3's probes draw overlapping downtime elements
+        # for the same rank; before plan_from_elements coalesced spans
+        # this crashed with FaultPlan's overlap ValueError mid-campaign.
+        result = run_campaign(2, seed=3)
+        assert result.ok
+
+    def test_engine_bugs_propagate_from_correctness_slo(self):
+        # The correctness SLO converts expected fault outcomes (timeout,
+        # retry limit, deadlock) into violations, but a genuine engine
+        # bug must surface, not be laundered into an SLO finding.
+        from repro.simulator.campaign import _Evaluator
+        from repro.simulator.errors import RetryLimitError
+
+        ev = _Evaluator(
+            DualCube(2), seed=0, requests_per_node=2, correctness_timeout=3
+        )
+        slo = SLO("result_correctness", "correctness")
+
+        def boom(*a, **k):
+            raise TypeError("engine bug")
+
+        ev._run_faulty = boom
+        with pytest.raises(TypeError, match="engine bug"):
+            ev.violated(slo, (("down", (0, 2, 4)),))
+
+        def expected(*a, **k):
+            raise RetryLimitError(0, None, 6, 9)
+
+        ev._run_faulty = expected
+        bad, observed = ev.violated(slo, (("down", (0, 2, 4)),))
+        assert bad and observed == "RetryLimitError"
 
     @pytest.mark.parametrize("n", [2, 3, 4])
     def test_dynamic_never_beats_exact_static_cut(self, n):
